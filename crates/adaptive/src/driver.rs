@@ -1,0 +1,176 @@
+//! Adaptive execution drivers: run the stencil in epochs, feed the
+//! counters of each epoch to a [`Tuner`], and let it re-partition the
+//! grid between epochs.
+//!
+//! This is the paper's "first step toward the goal of dynamically
+//! adapting task size" carried to completion: the same program, monitored
+//! through the same counters the paper characterizes, converges to a
+//! granularity in the flat region of Fig. 3 without any offline sweep.
+
+use crate::tuner::{Observation, Tuner};
+use grain_metrics::{RunRecord, StencilEngine};
+
+/// One adaptation epoch's outcome.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    /// Partition size used in this epoch.
+    pub nx: usize,
+    /// Wall time of the epoch, seconds.
+    pub wall_s: f64,
+    /// Idle-rate observed (Eq. 1).
+    pub idle_rate: f64,
+    /// Throughput, grid points per second.
+    pub points_per_s: f64,
+}
+
+/// Full adaptation run record.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTrace {
+    /// Epochs in order.
+    pub epochs: Vec<Epoch>,
+    /// Partition size the tuner settled on.
+    pub final_nx: usize,
+    /// Whether the tuner reported convergence within the epoch budget.
+    pub converged: bool,
+}
+
+impl AdaptiveTrace {
+    /// Throughput of the last epoch relative to the first — the benefit
+    /// the adaptation bought.
+    pub fn speedup(&self) -> f64 {
+        match (self.epochs.first(), self.epochs.last()) {
+            (Some(a), Some(b)) if a.points_per_s > 0.0 => b.points_per_s / a.points_per_s,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Run up to `max_epochs` epochs of the stencil through `engine` at
+/// `workers` cores, letting `tuner` choose the partition size between
+/// epochs. Each epoch runs the engine's configured number of time steps
+/// at the tuner's current granularity.
+pub fn adapt(
+    engine: &dyn StencilEngine,
+    workers: usize,
+    tuner: &mut dyn Tuner,
+    max_epochs: usize,
+) -> AdaptiveTrace {
+    let mut epochs = Vec::new();
+    for e in 0..max_epochs {
+        let nx = tuner.current_nx();
+        let rec: RunRecord = engine.run(nx, workers, e);
+        let params = engine.params_for(nx);
+        let total_points = (params.total_points() * params.nt) as f64;
+        let epoch = Epoch {
+            nx,
+            wall_s: rec.wall_s,
+            idle_rate: rec.idle_rate(),
+            points_per_s: if rec.wall_s > 0.0 {
+                total_points / rec.wall_s
+            } else {
+                0.0
+            },
+        };
+        tuner.observe(Observation {
+            idle_rate: epoch.idle_rate,
+            points_per_s: epoch.points_per_s,
+            tasks_per_core: params.np as f64 / workers as f64,
+        });
+        epochs.push(epoch);
+        if tuner.converged() {
+            break;
+        }
+    }
+    AdaptiveTrace {
+        final_nx: tuner.current_nx(),
+        converged: tuner.converged(),
+        epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::{HillClimber, ThresholdTuner, TunerConfig};
+    use grain_metrics::sweep::SimEngine;
+    use grain_topology::presets;
+
+    fn engine() -> SimEngine {
+        SimEngine::scaled(presets::haswell(), 2_000_000, 4)
+    }
+
+    #[test]
+    fn threshold_tuner_escapes_the_fine_grained_regime() {
+        let engine = engine();
+        let mut tuner = ThresholdTuner::new(TunerConfig {
+            initial_nx: 250,
+            ..TunerConfig::default()
+        });
+        let trace = adapt(&engine, 8, &mut tuner, 20);
+        assert!(
+            trace.final_nx >= 4_000,
+            "tuner stuck at {} (trace: {:?})",
+            trace.final_nx,
+            trace.epochs.iter().map(|e| e.nx).collect::<Vec<_>>()
+        );
+        assert!(trace.speedup() > 1.5, "speedup {:.2}", trace.speedup());
+    }
+
+    #[test]
+    fn threshold_tuner_escapes_the_coarse_regime() {
+        let engine = engine();
+        let mut tuner = ThresholdTuner::new(TunerConfig {
+            initial_nx: 2_000_000, // one partition: fully serialized
+            ..TunerConfig::default()
+        });
+        let trace = adapt(&engine, 8, &mut tuner, 20);
+        assert!(
+            trace.final_nx < 2_000_000,
+            "tuner failed to shrink from a serialized configuration"
+        );
+    }
+
+    #[test]
+    fn converged_traces_stop_early() {
+        let engine = engine();
+        // Start in the sweet spot: should hold and converge quickly.
+        let mut tuner = ThresholdTuner::new(TunerConfig {
+            initial_nx: 50_000,
+            ..TunerConfig::default()
+        });
+        let trace = adapt(&engine, 8, &mut tuner, 20);
+        assert!(trace.converged);
+        assert!(trace.epochs.len() <= 5, "took {} epochs", trace.epochs.len());
+    }
+
+    #[test]
+    fn hill_climber_improves_throughput() {
+        let engine = engine();
+        let mut tuner = HillClimber::new(TunerConfig {
+            initial_nx: 500,
+            ..TunerConfig::default()
+        });
+        let trace = adapt(&engine, 8, &mut tuner, 25);
+        assert!(
+            trace.speedup() > 1.2,
+            "hill climbing should beat the initial fine grain, got {:.2}",
+            trace.speedup()
+        );
+    }
+
+    #[test]
+    fn trace_records_every_epoch() {
+        let engine = engine();
+        let mut tuner = ThresholdTuner::new(TunerConfig {
+            initial_nx: 250,
+            ..TunerConfig::default()
+        });
+        let trace = adapt(&engine, 4, &mut tuner, 6);
+        assert!(!trace.epochs.is_empty());
+        for e in &trace.epochs {
+            assert!(e.wall_s > 0.0);
+            assert!((0.0..=1.0).contains(&e.idle_rate));
+            assert!(e.points_per_s > 0.0);
+        }
+    }
+}

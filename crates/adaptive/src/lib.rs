@@ -1,0 +1,40 @@
+//! # grain-adaptive — grain-size selection and dynamic adaptation
+//!
+//! The paper's conclusion (§VI): *"we show that by collecting pertinent
+//! event counts, we can determine an optimal grain size to minimize
+//! scheduling overheads and wait time"* — with dynamic adaptation named
+//! as the goal the characterization enables. This crate implements both
+//! halves:
+//!
+//! * [`threshold`] — the static selection rules the paper demonstrates:
+//!   the idle-rate threshold of §IV-A and the pending-queue-access
+//!   minimum of §IV-E, applied to sweep data;
+//! * [`tuner`] — online tuners ([`tuner::ThresholdTuner`] driven by the
+//!   windowed idle-rate and tasks-per-core regime signals;
+//!   [`tuner::HillClimber`] as a counter-free baseline);
+//! * [`driver`] — epoch-based adaptive execution on either engine:
+//!   run, observe counters, re-partition, repeat until converged;
+//! * [`online`] — single-runtime adaptation: groups of time steps
+//!   measured through live interval counter snapshots, re-partitioning
+//!   the grid in place (the production shape of the paper's goal);
+//! * [`policy`] — an APEX-style policy engine (§VI): composable rules
+//!   that adapt grain size *and* throttle the worker pool
+//!   (Porterfield-style core adaptation, §V) from the same counters.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod driver;
+pub mod online;
+pub mod policy;
+pub mod threshold;
+pub mod tuner;
+
+pub use driver::{adapt, AdaptiveTrace, Epoch};
+pub use online::{run_online, OnlineEpoch, OnlineRun};
+pub use policy::{
+    run_policy_driven, run_policy_epochs, Action, GrainPolicy, Policy, PolicyContext,
+    PolicyEngine, PolicyRun, ThrottlePolicy,
+};
+pub use threshold::{nx_minimizing_pending_accesses, smallest_nx_below_idle_rate, Selection};
+pub use tuner::{HillClimber, Observation, ThresholdTuner, Tuner, TunerConfig};

@@ -1,0 +1,194 @@
+//! Online adaptation inside a single live runtime.
+//!
+//! [`crate::driver::adapt`] restarts the engine between epochs; this
+//! module does what a production runtime would actually do: keep **one**
+//! runtime alive, run the computation in groups of time steps, measure
+//! each group through *interval counter snapshots* (the windowed Eq. 1
+//! the paper says its counters support, §II-A), and re-partition the
+//! live grid between groups. Physics is untouched by re-partitioning —
+//! partitions are contiguous chunks of the same ring.
+
+use crate::tuner::{Observation, Tuner};
+use grain_counters::Snapshot;
+use grain_runtime::Runtime;
+use grain_stencil::{collect_result, partition_grid, run_steps_from};
+
+/// One adaptation window of a live run.
+#[derive(Debug, Clone)]
+pub struct OnlineEpoch {
+    /// Partition size used in this window.
+    pub nx: usize,
+    /// Time steps computed in this window.
+    pub steps: usize,
+    /// Wall time of the window, seconds.
+    pub wall_s: f64,
+    /// Windowed idle-rate (Eq. 1 over the interval), from counter
+    /// snapshots.
+    pub idle_rate: f64,
+    /// Tasks executed in the window (from the interval delta).
+    pub tasks: u64,
+}
+
+/// Result of an online adaptive run.
+#[derive(Debug, Clone)]
+pub struct OnlineRun {
+    /// Per-window records.
+    pub epochs: Vec<OnlineEpoch>,
+    /// Final grid values (flattened ring).
+    pub grid: Vec<f64>,
+    /// Partition size in force at the end.
+    pub final_nx: usize,
+}
+
+const EXEC_PATH: &str = "/threads{locality#0/total}/time/cumulative-exec";
+const FUNC_PATH: &str = "/threads{locality#0/total}/time/cumulative-func";
+const TASKS_PATH: &str = "/threads{locality#0/total}/count/cumulative";
+
+/// Run `epochs × steps_per_epoch` time steps of heat diffusion over
+/// `grid` (a ring), re-partitioning between epochs as directed by
+/// `tuner`. The runtime keeps running throughout; granularity decisions
+/// come from interval snapshots of its live counters.
+pub fn run_online(
+    rt: &Runtime,
+    mut grid: Vec<f64>,
+    coeff: f64,
+    steps_per_epoch: usize,
+    epochs: usize,
+    tuner: &mut dyn Tuner,
+) -> OnlineRun {
+    assert!(!grid.is_empty(), "empty grid");
+    assert!(steps_per_epoch > 0);
+    let mut records = Vec::new();
+
+    for _ in 0..epochs {
+        let nx = tuner.current_nx().clamp(1, grid.len());
+        let parts = partition_grid(&grid, nx);
+        let np = parts.len();
+
+        let before = Snapshot::capture_all(rt.registry());
+        let t0 = std::time::Instant::now();
+        let out = run_steps_from(rt, parts, steps_per_epoch, coeff);
+        grid = collect_result(&out);
+        rt.wait_idle();
+        let wall_s = t0.elapsed().as_secs_f64();
+        let after = Snapshot::capture_all(rt.registry());
+
+        let window = before.delta(&after);
+        let idle_rate = window.windowed_ratio(EXEC_PATH, FUNC_PATH).unwrap_or(0.0);
+        let tasks = window.get(TASKS_PATH).map(|v| v.value as u64).unwrap_or(0);
+
+        let points_per_s = if wall_s > 0.0 {
+            (grid.len() * steps_per_epoch) as f64 / wall_s
+        } else {
+            0.0
+        };
+        tuner.observe(Observation {
+            idle_rate,
+            points_per_s,
+            tasks_per_core: np as f64 / rt.num_workers() as f64,
+        });
+        records.push(OnlineEpoch {
+            nx,
+            steps: steps_per_epoch,
+            wall_s,
+            idle_rate,
+            tasks,
+        });
+        if tuner.converged() {
+            break;
+        }
+    }
+    OnlineRun {
+        final_nx: tuner.current_nx(),
+        epochs: records,
+        grid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::{ThresholdTuner, TunerConfig};
+    use grain_runtime::Runtime;
+    use grain_stencil::{run_sequential, total_heat, StencilParams};
+
+    fn initial_grid(params: &StencilParams) -> Vec<f64> {
+        (0..params.total_points())
+            .map(|g| (g / params.nx) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn online_run_preserves_physics_across_repartitioning() {
+        // 4 epochs × 3 steps == 12 sequential steps, whatever partition
+        // sizes the tuner chooses along the way.
+        let params = StencilParams::new(32, 8, 12);
+        let rt = Runtime::with_workers(2);
+        let mut tuner = ThresholdTuner::new(TunerConfig {
+            initial_nx: 8,
+            ..TunerConfig::default()
+        });
+        let run = run_online(&rt, initial_grid(&params), params.coefficient(), 3, 4, &mut tuner);
+        let seq = run_sequential(&params);
+        assert_eq!(run.grid, seq, "re-partitioned run diverged from oracle");
+    }
+
+    #[test]
+    fn online_epochs_record_windowed_counters() {
+        let params = StencilParams::new(64, 32, 8);
+        let rt = Runtime::with_workers(2);
+        let mut tuner = ThresholdTuner::new(TunerConfig {
+            initial_nx: 16,
+            ..TunerConfig::default()
+        });
+        let run = run_online(&rt, initial_grid(&params), params.coefficient(), 2, 4, &mut tuner);
+        assert!(!run.epochs.is_empty());
+        for e in &run.epochs {
+            assert!(e.wall_s > 0.0);
+            assert!((0.0..=1.0).contains(&e.idle_rate));
+            // tasks in the window = partitions × steps of that window.
+            let np = (params.total_points()).div_ceil(e.nx);
+            assert_eq!(e.tasks as usize, np * e.steps, "window task accounting");
+        }
+    }
+
+    #[test]
+    fn online_tuner_escapes_fine_granularity() {
+        let params = StencilParams::new(1, 6_000, 0); // 6000-point grid
+        let rt = Runtime::with_workers(2);
+        let mut tuner = ThresholdTuner::new(TunerConfig {
+            initial_nx: 4,
+            target_idle_rate: 0.5,
+            ..TunerConfig::default()
+        });
+        let run = run_online(&rt, vec![0.0; params.total_points()], 0.5, 3, 10, &mut tuner);
+        assert!(
+            run.final_nx > 4,
+            "windowed idle-rate should push past nx=4 (epochs: {:?})",
+            run.epochs.iter().map(|e| (e.nx, e.idle_rate)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn online_run_conserves_heat() {
+        let params = StencilParams::new(16, 16, 10);
+        let rt = Runtime::with_workers(3);
+        let mut tuner = ThresholdTuner::new(TunerConfig {
+            initial_nx: 3, // ragged partitions on purpose
+            ..TunerConfig::default()
+        });
+        let grid0 = initial_grid(&params);
+        let expect = grid0.iter().sum::<f64>();
+        let run = run_online(&rt, grid0, params.coefficient(), 5, 2, &mut tuner);
+        let got = total_heat([&run.grid[..]]);
+        assert!((got - expect).abs() < 1e-6 * expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn online_rejects_empty_grid() {
+        let rt = Runtime::with_workers(1);
+        let mut tuner = ThresholdTuner::new(TunerConfig::default());
+        let _ = run_online(&rt, Vec::new(), 0.5, 1, 1, &mut tuner);
+    }
+}

@@ -1,0 +1,458 @@
+//! A counter-driven policy engine — the integration the paper's
+//! conclusion describes: *"an initial implementation of the policy engine
+//! from the APEX prototype \[has\] been integrated with HPX. We plan to
+//! apply our findings to drive the policy engine with our metrics for
+//! adapting thread granularity and scheduling policies"* (§VI).
+//!
+//! Policies observe one monitoring window's metrics and emit [`Action`]s;
+//! the engine merges them and the driver applies them to a live runtime:
+//! re-partitioning the grid (grain adaptation) and/or throttling the
+//! worker pool (Porterfield-style core adaptation, §V).
+
+use crate::tuner::{Observation, ThresholdTuner, Tuner};
+use grain_counters::Snapshot;
+use grain_runtime::Runtime;
+use grain_stencil::{collect_result, partition_grid, run_steps_from};
+
+/// What the counters looked like over one monitoring window.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyContext {
+    /// Windowed idle-rate (Eq. 1).
+    pub idle_rate: f64,
+    /// Useful throughput over the window, points/s.
+    pub throughput: f64,
+    /// Ready parallelism: partitions per *active* worker.
+    pub tasks_per_core: f64,
+    /// Current partition size.
+    pub nx: usize,
+    /// Workers currently allowed to take work.
+    pub active_workers: usize,
+    /// Pool size.
+    pub max_workers: usize,
+}
+
+/// Something a policy can ask the driver to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Re-partition to this size at the next epoch boundary.
+    SetGrain(usize),
+    /// Throttle (or un-throttle) the worker pool.
+    SetActiveWorkers(usize),
+}
+
+/// A rule evaluated once per monitoring window.
+pub trait Policy {
+    /// Name for traces.
+    fn name(&self) -> &str;
+    /// Look at the window, optionally demand actions.
+    fn evaluate(&mut self, ctx: &PolicyContext) -> Vec<Action>;
+}
+
+/// Grain adaptation as a policy: wraps a [`ThresholdTuner`].
+pub struct GrainPolicy {
+    tuner: ThresholdTuner,
+}
+
+impl GrainPolicy {
+    /// Wrap a tuner.
+    pub fn new(tuner: ThresholdTuner) -> Self {
+        Self { tuner }
+    }
+}
+
+impl Policy for GrainPolicy {
+    fn name(&self) -> &str {
+        "grain"
+    }
+    fn evaluate(&mut self, ctx: &PolicyContext) -> Vec<Action> {
+        let next = self.tuner.observe(Observation {
+            idle_rate: ctx.idle_rate,
+            points_per_s: ctx.throughput,
+            tasks_per_core: ctx.tasks_per_core,
+        });
+        if next != ctx.nx {
+            vec![Action::SetGrain(next)]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Core throttling: when the workload cannot feed every active worker
+/// (partitions per worker below `min_slack`), park the surplus; when
+/// parallel slack returns, re-activate. The energy-oriented adaptation of
+/// Porterfield et al. (§V), driven by this paper's counters.
+pub struct ThrottlePolicy {
+    /// Minimum partitions-per-worker before throttling kicks in.
+    pub min_slack: f64,
+    /// Never throttle below this many workers.
+    pub min_workers: usize,
+}
+
+impl Default for ThrottlePolicy {
+    fn default() -> Self {
+        Self {
+            min_slack: 1.0,
+            min_workers: 1,
+        }
+    }
+}
+
+impl Policy for ThrottlePolicy {
+    fn name(&self) -> &str {
+        "throttle"
+    }
+    fn evaluate(&mut self, ctx: &PolicyContext) -> Vec<Action> {
+        let partitions = (ctx.tasks_per_core * ctx.active_workers as f64).round() as usize;
+        let want = partitions
+            .max(self.min_workers)
+            .min(ctx.max_workers)
+            .max(1);
+        if (ctx.tasks_per_core < self.min_slack && want < ctx.active_workers)
+            || (want > ctx.active_workers && ctx.tasks_per_core >= self.min_slack)
+        {
+            vec![Action::SetActiveWorkers(want)]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Evaluates a set of policies and merges their actions (later policies
+/// win conflicts of the same kind).
+pub struct PolicyEngine {
+    policies: Vec<Box<dyn Policy>>,
+}
+
+impl PolicyEngine {
+    /// Engine over the given policies.
+    pub fn new(policies: Vec<Box<dyn Policy>>) -> Self {
+        Self { policies }
+    }
+
+    /// One evaluation round: returns the merged `(grain, active_workers)`
+    /// requests, if any.
+    pub fn evaluate(&mut self, ctx: &PolicyContext) -> (Option<usize>, Option<usize>) {
+        let mut grain = None;
+        let mut workers = None;
+        for p in &mut self.policies {
+            for a in p.evaluate(ctx) {
+                match a {
+                    Action::SetGrain(g) => grain = Some(g),
+                    Action::SetActiveWorkers(w) => workers = Some(w),
+                }
+            }
+        }
+        (grain, workers)
+    }
+}
+
+/// One window of a policy-driven run.
+#[derive(Debug, Clone)]
+pub struct PolicyEpoch {
+    /// Partition size in this window.
+    pub nx: usize,
+    /// Active workers during this window.
+    pub active_workers: usize,
+    /// Windowed idle-rate.
+    pub idle_rate: f64,
+    /// Window wall time, seconds.
+    pub wall_s: f64,
+    /// Core-seconds consumed (active workers × wall) — the energy proxy
+    /// throttling tries to reduce.
+    pub core_seconds: f64,
+}
+
+/// Result of a policy-driven run.
+#[derive(Debug, Clone)]
+pub struct PolicyRun {
+    /// Per-window records.
+    pub epochs: Vec<PolicyEpoch>,
+    /// Final grid values.
+    pub grid: Vec<f64>,
+}
+
+impl PolicyRun {
+    /// Total core-seconds (energy proxy) across the run.
+    pub fn total_core_seconds(&self) -> f64 {
+        self.epochs.iter().map(|e| e.core_seconds).sum()
+    }
+}
+
+const EXEC_PATH: &str = "/threads{locality#0/total}/time/cumulative-exec";
+const FUNC_PATH: &str = "/threads{locality#0/total}/time/cumulative-func";
+
+/// Run heat diffusion under a policy engine: `epochs × steps_per_epoch`
+/// steps over `grid`, with the engine deciding partition size and active
+/// worker count between windows.
+pub fn run_policy_driven(
+    rt: &Runtime,
+    mut grid: Vec<f64>,
+    coeff: f64,
+    initial_nx: usize,
+    steps_per_epoch: usize,
+    epochs: usize,
+    engine: &mut PolicyEngine,
+) -> PolicyRun {
+    assert!(!grid.is_empty() && steps_per_epoch > 0);
+    let mut nx = initial_nx.clamp(1, grid.len());
+    let mut records = Vec::new();
+
+    for _ in 0..epochs {
+        let parts = partition_grid(&grid, nx);
+        let np = parts.len();
+        let active = rt.active_workers();
+
+        let before = Snapshot::capture_all(rt.registry());
+        let t0 = std::time::Instant::now();
+        let out = run_steps_from(rt, parts, steps_per_epoch, coeff);
+        grid = collect_result(&out);
+        rt.wait_idle();
+        let wall_s = t0.elapsed().as_secs_f64();
+        let after = Snapshot::capture_all(rt.registry());
+        let idle_rate = before
+            .delta(&after)
+            .windowed_ratio(EXEC_PATH, FUNC_PATH)
+            .unwrap_or(0.0);
+
+        records.push(PolicyEpoch {
+            nx,
+            active_workers: active,
+            idle_rate,
+            wall_s,
+            core_seconds: active as f64 * wall_s,
+        });
+
+        let ctx = PolicyContext {
+            idle_rate,
+            throughput: if wall_s > 0.0 {
+                (grid.len() * steps_per_epoch) as f64 / wall_s
+            } else {
+                0.0
+            },
+            tasks_per_core: np as f64 / active as f64,
+            nx,
+            active_workers: active,
+            max_workers: rt.num_workers(),
+        };
+        let (new_grain, new_workers) = engine.evaluate(&ctx);
+        if let Some(g) = new_grain {
+            nx = g.clamp(1, grid.len());
+        }
+        if let Some(w) = new_workers {
+            rt.set_active_workers(w);
+        }
+    }
+    PolicyRun {
+        epochs: records,
+        grid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::TunerConfig;
+    use grain_stencil::{run_sequential, StencilParams};
+
+    fn ctx(idle: f64, tpc: f64, active: usize, max: usize) -> PolicyContext {
+        PolicyContext {
+            idle_rate: idle,
+            throughput: 1e9,
+            tasks_per_core: tpc,
+            nx: 1_000,
+            active_workers: active,
+            max_workers: max,
+        }
+    }
+
+    #[test]
+    fn throttle_policy_parks_surplus_workers() {
+        let mut p = ThrottlePolicy::default();
+        // 2 partitions on 8 active workers → park down to 2.
+        let actions = p.evaluate(&ctx(0.8, 0.25, 8, 8));
+        assert_eq!(actions, vec![Action::SetActiveWorkers(2)]);
+    }
+
+    #[test]
+    fn throttle_policy_reactivates_when_slack_returns() {
+        let mut p = ThrottlePolicy::default();
+        // 64 partitions on 2 active workers of an 8-pool → open up.
+        let actions = p.evaluate(&ctx(0.1, 32.0, 2, 8));
+        assert_eq!(actions, vec![Action::SetActiveWorkers(8)]);
+    }
+
+    #[test]
+    fn throttle_policy_holds_when_balanced() {
+        let mut p = ThrottlePolicy::default();
+        assert!(p.evaluate(&ctx(0.2, 4.0, 8, 8)).is_empty());
+    }
+
+    #[test]
+    fn engine_merges_policies() {
+        let grain = GrainPolicy::new(ThresholdTuner::new(TunerConfig {
+            initial_nx: 1_000,
+            ..TunerConfig::default()
+        }));
+        let mut engine = PolicyEngine::new(vec![
+            Box::new(grain),
+            Box::new(ThrottlePolicy::default()),
+        ]);
+        // High idle-rate at fine grain with plenty of slack: grain grows,
+        // throttle holds.
+        let (g, w) = engine.evaluate(&ctx(0.9, 50.0, 8, 8));
+        assert_eq!(g, Some(2_000));
+        assert_eq!(w, None);
+    }
+
+    #[test]
+    fn policy_driven_run_preserves_physics() {
+        let params = StencilParams::new(16, 16, 12);
+        let rt = Runtime::with_workers(4);
+        let grid0: Vec<f64> = (0..params.total_points())
+            .map(|g| (g / params.nx) as f64)
+            .collect();
+        let mut engine = PolicyEngine::new(vec![
+            Box::new(GrainPolicy::new(ThresholdTuner::new(TunerConfig {
+                initial_nx: 8,
+                ..TunerConfig::default()
+            }))),
+            Box::new(ThrottlePolicy::default()),
+        ]);
+        let run = run_policy_driven(&rt, grid0, params.coefficient(), 8, 3, 4, &mut engine);
+        assert_eq!(run.grid, run_sequential(&params));
+        assert_eq!(run.epochs.len(), 4);
+    }
+
+    #[test]
+    fn policy_driven_run_throttles_on_coarse_grain() {
+        // 2 partitions on a 4-worker pool: the throttle policy must cut
+        // the pool after the first window.
+        let rt = Runtime::with_workers(4);
+        let grid0 = vec![1.0; 4_096];
+        let mut engine = PolicyEngine::new(vec![Box::new(ThrottlePolicy::default())]);
+        let run = run_policy_driven(&rt, grid0, 0.5, 2_048, 5, 3, &mut engine);
+        assert_eq!(run.epochs[0].active_workers, 4);
+        assert!(
+            run.epochs.last().unwrap().active_workers <= 2,
+            "expected throttling: {:?}",
+            run.epochs
+                .iter()
+                .map(|e| e.active_workers)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(rt.active_workers(), 2);
+    }
+}
+
+/// Engine-generic policy loop: like [`run_policy_driven`] but over any
+/// [`grain_metrics::StencilEngine`] (e.g. a simulated Table I platform),
+/// where "throttling" selects the worker count of the next epoch. Used
+/// for the energy experiments: core-seconds with vs without the throttle
+/// policy.
+pub fn run_policy_epochs(
+    engine: &dyn grain_metrics::StencilEngine,
+    initial_nx: usize,
+    initial_workers: usize,
+    epochs: usize,
+    policy_engine: &mut PolicyEngine,
+) -> Vec<PolicyEpoch> {
+    let mut nx = initial_nx;
+    let mut workers = initial_workers.clamp(1, engine.max_workers());
+    let mut records = Vec::new();
+    for e in 0..epochs {
+        let rec = engine.run(nx, workers, e);
+        let params = engine.params_for(nx);
+        records.push(PolicyEpoch {
+            nx,
+            active_workers: workers,
+            idle_rate: rec.idle_rate(),
+            wall_s: rec.wall_s,
+            core_seconds: workers as f64 * rec.wall_s,
+        });
+        let ctx = PolicyContext {
+            idle_rate: rec.idle_rate(),
+            throughput: if rec.wall_s > 0.0 {
+                (params.total_points() * params.nt) as f64 / rec.wall_s
+            } else {
+                0.0
+            },
+            tasks_per_core: params.np as f64 / workers as f64,
+            nx,
+            active_workers: workers,
+            max_workers: initial_workers.clamp(1, engine.max_workers()),
+        };
+        let (new_grain, new_workers) = policy_engine.evaluate(&ctx);
+        if let Some(g) = new_grain {
+            nx = g.max(1);
+        }
+        if let Some(w) = new_workers {
+            workers = w.clamp(1, engine.max_workers());
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod sim_tests {
+    use super::*;
+    use crate::tuner::TunerConfig;
+    use grain_metrics::sweep::SimEngine;
+    use grain_topology::presets;
+
+    #[test]
+    fn simulated_throttling_saves_core_seconds_at_coarse_grain() {
+        // 4 partitions on a 28-core simulated Haswell: the throttle policy
+        // should cut the pool toward 4 and reduce the energy proxy without
+        // a large wall-time penalty.
+        let engine = SimEngine::scaled(presets::haswell(), 8_000_000, 6);
+        let nx = 2_000_000; // 4 partitions
+
+        let mut throttled = PolicyEngine::new(vec![Box::new(ThrottlePolicy::default())]);
+        let with = run_policy_epochs(&engine, nx, 28, 6, &mut throttled);
+        let mut unmanaged = PolicyEngine::new(vec![]);
+        let without = run_policy_epochs(&engine, nx, 28, 6, &mut unmanaged);
+
+        let cs_with: f64 = with.iter().map(|e| e.core_seconds).sum();
+        let cs_without: f64 = without.iter().map(|e| e.core_seconds).sum();
+        assert!(
+            with.last().unwrap().active_workers <= 6,
+            "throttle should engage: {:?}",
+            with.iter().map(|e| e.active_workers).collect::<Vec<_>>()
+        );
+        assert!(
+            cs_with < cs_without * 0.5,
+            "energy proxy should drop: {cs_with} vs {cs_without}"
+        );
+        let t_with: f64 = with.iter().map(|e| e.wall_s).sum();
+        let t_without: f64 = without.iter().map(|e| e.wall_s).sum();
+        assert!(
+            t_with < t_without * 1.3,
+            "wall time must not explode: {t_with} vs {t_without}"
+        );
+    }
+
+    #[test]
+    fn combined_policies_adapt_grain_and_cores_in_simulation() {
+        let engine = SimEngine::scaled(presets::haswell(), 8_000_000, 6);
+        let mut pe = PolicyEngine::new(vec![
+            Box::new(GrainPolicy::new(ThresholdTuner::new(TunerConfig {
+                initial_nx: 4_000_000, // 2 partitions
+                ..TunerConfig::default()
+            }))),
+            Box::new(ThrottlePolicy::default()),
+        ]);
+        let epochs = run_policy_epochs(&engine, 4_000_000, 28, 12, &mut pe);
+        let last = epochs.last().unwrap();
+        assert!(last.nx < 4_000_000, "grain policy should split partitions");
+        // Once slack returns, the pool opens back up.
+        assert!(
+            last.active_workers > 4,
+            "workers should be reactivated: {:?}",
+            epochs
+                .iter()
+                .map(|e| (e.nx, e.active_workers))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Dynamic grain-size tuners — the paper's stated goal ("dynamically
+//! adapt task grain size to optimize parallel performance", §VI), built
+//! on exactly the signals its characterization identified:
+//!
+//! * [`ThresholdTuner`] drives the partition size from the *windowed
+//!   idle-rate* (Eq. 1 over a monitoring interval) plus the
+//!   tasks-per-core ratio that distinguishes the fine-grained regime
+//!   (overhead-bound: grow partitions) from the coarse-grained regime
+//!   (starvation-bound: shrink partitions);
+//! * [`HillClimber`] needs no counters at all — it searches the partition
+//!   size multiplicatively on measured *throughput*, useful as a
+//!   counter-free baseline for the ablation study.
+
+/// One monitoring window's worth of signals, from either engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Idle-rate over the window (Eq. 1).
+    pub idle_rate: f64,
+    /// Useful throughput over the window, grid points per second.
+    pub points_per_s: f64,
+    /// Tasks per core per step available at the current granularity
+    /// (`np / n_c`): < ~2 means the coarse, starvation-prone regime.
+    pub tasks_per_core: f64,
+}
+
+/// A grain-size tuner: consumes window observations, produces the next
+/// partition size to try.
+pub trait Tuner {
+    /// Current partition size.
+    fn current_nx(&self) -> usize;
+    /// Feed one window; returns the partition size for the next window.
+    fn observe(&mut self, obs: Observation) -> usize;
+    /// True once the tuner has stopped moving.
+    fn converged(&self) -> bool;
+}
+
+/// Configuration shared by the tuners.
+#[derive(Debug, Clone, Copy)]
+pub struct TunerConfig {
+    /// Starting partition size.
+    pub initial_nx: usize,
+    /// Smallest size the tuner may choose.
+    pub min_nx: usize,
+    /// Largest size the tuner may choose.
+    pub max_nx: usize,
+    /// Idle-rate ceiling (the paper demonstrates 30 %).
+    pub target_idle_rate: f64,
+    /// Multiplicative step for size changes.
+    pub step: f64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        Self {
+            initial_nx: 1_000,
+            min_nx: 16,
+            max_nx: 100_000_000,
+            target_idle_rate: 0.30,
+            step: 2.0,
+        }
+    }
+}
+
+/// Idle-rate-threshold tuner (§IV-A made dynamic).
+///
+/// Decision rule per window:
+/// * starving (tasks-per-core below 2): partitions are too coarse to load
+///   balance — *shrink*;
+/// * idle-rate above target: task management dominates — *grow*;
+/// * otherwise: hold (converged once two consecutive holds happen).
+#[derive(Debug, Clone)]
+pub struct ThresholdTuner {
+    cfg: TunerConfig,
+    nx: usize,
+    holds: u32,
+    /// Last direction: +1 grew, −1 shrank, 0 held.
+    last_dir: i8,
+}
+
+impl ThresholdTuner {
+    /// New tuner starting at `cfg.initial_nx`.
+    pub fn new(cfg: TunerConfig) -> Self {
+        let nx = cfg.initial_nx.clamp(cfg.min_nx, cfg.max_nx);
+        Self {
+            cfg,
+            nx,
+            holds: 0,
+            last_dir: 0,
+        }
+    }
+}
+
+impl Tuner for ThresholdTuner {
+    fn current_nx(&self) -> usize {
+        self.nx
+    }
+
+    fn observe(&mut self, obs: Observation) -> usize {
+        let grow = |nx: usize, cfg: &TunerConfig| {
+            (((nx as f64) * cfg.step) as usize).clamp(cfg.min_nx, cfg.max_nx)
+        };
+        let shrink = |nx: usize, cfg: &TunerConfig| {
+            (((nx as f64) / cfg.step) as usize).clamp(cfg.min_nx, cfg.max_nx)
+        };
+
+        if obs.tasks_per_core < 2.0 {
+            // Coarse regime: not enough parallel slack.
+            let next = shrink(self.nx, &self.cfg);
+            // Oscillation guard: if we just grew, settle instead of
+            // ping-ponging.
+            if self.last_dir == 1 {
+                self.holds += 1;
+                self.last_dir = 0;
+            } else if next != self.nx {
+                self.nx = next;
+                self.holds = 0;
+                self.last_dir = -1;
+            } else {
+                self.holds += 1;
+            }
+        } else if obs.idle_rate > self.cfg.target_idle_rate {
+            // Fine regime: overhead-bound.
+            let next = grow(self.nx, &self.cfg);
+            if self.last_dir == -1 {
+                self.holds += 1;
+                self.last_dir = 0;
+            } else if next != self.nx {
+                self.nx = next;
+                self.holds = 0;
+                self.last_dir = 1;
+            } else {
+                self.holds += 1;
+            }
+        } else {
+            self.holds += 1;
+            self.last_dir = 0;
+        }
+        self.nx
+    }
+
+    fn converged(&self) -> bool {
+        self.holds >= 2
+    }
+}
+
+/// Counter-free multiplicative hill climber on throughput.
+#[derive(Debug, Clone)]
+pub struct HillClimber {
+    cfg: TunerConfig,
+    nx: usize,
+    best_rate: f64,
+    dir: f64,
+    worsened: u32,
+}
+
+impl HillClimber {
+    /// New climber starting at `cfg.initial_nx`, growing first.
+    pub fn new(cfg: TunerConfig) -> Self {
+        let nx = cfg.initial_nx.clamp(cfg.min_nx, cfg.max_nx);
+        Self {
+            cfg,
+            nx,
+            best_rate: 0.0,
+            dir: cfg.step,
+            worsened: 0,
+        }
+    }
+}
+
+impl Tuner for HillClimber {
+    fn current_nx(&self) -> usize {
+        self.nx
+    }
+
+    fn observe(&mut self, obs: Observation) -> usize {
+        if obs.points_per_s > self.best_rate {
+            // Improvement: keep moving the same way.
+            self.best_rate = obs.points_per_s;
+            self.worsened = 0;
+        } else {
+            // Got worse: turn around and decay the step.
+            self.worsened += 1;
+            self.dir = 1.0 / self.dir;
+            if self.worsened >= 2 {
+                // Bouncing both ways around the optimum: tighten.
+                self.dir = self.dir.powf(0.5);
+            }
+        }
+        let next = ((self.nx as f64) * self.dir) as usize;
+        self.nx = next.clamp(self.cfg.min_nx, self.cfg.max_nx);
+        self.nx
+    }
+
+    fn converged(&self) -> bool {
+        // Step shrunk to within 10 % — no meaningful moves left.
+        (self.dir - 1.0).abs() < 0.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(idle: f64, tpc: f64) -> Observation {
+        Observation {
+            idle_rate: idle,
+            points_per_s: 0.0,
+            tasks_per_core: tpc,
+        }
+    }
+
+    #[test]
+    fn threshold_grows_under_high_idle_rate() {
+        let mut t = ThresholdTuner::new(TunerConfig::default());
+        let nx0 = t.current_nx();
+        let nx1 = t.observe(obs(0.9, 100.0));
+        assert!(nx1 > nx0, "fine-grained overhead should grow the size");
+    }
+
+    #[test]
+    fn threshold_shrinks_when_starving() {
+        let cfg = TunerConfig {
+            initial_nx: 50_000_000,
+            ..TunerConfig::default()
+        };
+        let mut t = ThresholdTuner::new(cfg);
+        let nx1 = t.observe(obs(0.8, 0.5));
+        assert!(nx1 < 50_000_000, "starvation should shrink the size");
+    }
+
+    #[test]
+    fn threshold_holds_and_converges_in_band() {
+        let mut t = ThresholdTuner::new(TunerConfig::default());
+        let nx0 = t.current_nx();
+        t.observe(obs(0.1, 100.0));
+        assert_eq!(t.current_nx(), nx0);
+        assert!(!t.converged());
+        t.observe(obs(0.15, 100.0));
+        assert!(t.converged());
+    }
+
+    #[test]
+    fn threshold_respects_bounds() {
+        let cfg = TunerConfig {
+            initial_nx: 100,
+            min_nx: 64,
+            max_nx: 256,
+            ..TunerConfig::default()
+        };
+        let mut t = ThresholdTuner::new(cfg);
+        for _ in 0..10 {
+            t.observe(obs(0.9, 100.0)); // keeps trying to grow
+        }
+        assert!(t.current_nx() <= 256);
+        let mut t = ThresholdTuner::new(cfg);
+        for _ in 0..10 {
+            t.observe(obs(0.9, 0.1)); // keeps trying to shrink
+        }
+        assert!(t.current_nx() >= 64);
+    }
+
+    #[test]
+    fn threshold_damps_oscillation() {
+        let mut t = ThresholdTuner::new(TunerConfig::default());
+        // Grow once (fine regime), then a starving window: instead of
+        // immediately un-doing the move, the tuner settles.
+        t.observe(obs(0.9, 100.0));
+        let after_grow = t.current_nx();
+        t.observe(obs(0.1, 1.0));
+        assert_eq!(t.current_nx(), after_grow, "no immediate ping-pong");
+    }
+
+    #[test]
+    fn hill_climber_tracks_a_peak() {
+        // Synthetic throughput landscape peaking at nx = 32_000.
+        let rate = |nx: usize| {
+            let x = (nx as f64).ln() - (32_000f64).ln();
+            1e9 * (-x * x).exp()
+        };
+        let mut t = HillClimber::new(TunerConfig {
+            initial_nx: 1_000,
+            ..TunerConfig::default()
+        });
+        let mut nx = t.current_nx();
+        for _ in 0..40 {
+            nx = t.observe(Observation {
+                idle_rate: 0.0,
+                points_per_s: rate(nx),
+                tasks_per_core: 10.0,
+            });
+        }
+        assert!(
+            (4_000..=256_000).contains(&nx),
+            "climber should settle near the peak, got {nx}"
+        );
+    }
+
+    #[test]
+    fn hill_climber_respects_bounds() {
+        let cfg = TunerConfig {
+            initial_nx: 1_000,
+            min_nx: 500,
+            max_nx: 2_000,
+            ..TunerConfig::default()
+        };
+        let mut t = HillClimber::new(cfg);
+        for i in 0..20 {
+            let nx = t.observe(Observation {
+                idle_rate: 0.0,
+                points_per_s: (i as f64) * 1e6, // always improving
+                tasks_per_core: 10.0,
+            });
+            assert!((500..=2_000).contains(&nx));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Criterion micro-benchmarks of the substrate costs the paper's model
+//! is built from: task spawn/dispatch, future composition, scheduler
+//! queue operations, the stencil kernel, and the simulator engine itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grain_counters::ThreadCounters;
+use grain_runtime::scheduler::Scheduler;
+use grain_runtime::task::{Priority, StagedTask, TaskId};
+use grain_runtime::{channel, when_all, Runtime, SchedulerKind, SharedFuture};
+use grain_sim::{simulate, SimConfig, SimWorkload};
+use grain_stencil::{heat_part, run_futurized, stencil_workload, StencilParams};
+use grain_topology::{presets, NumaTopology};
+use std::hint::black_box;
+
+fn bench_task_spawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("task_spawn");
+    for workers in [1usize, 2, 4] {
+        let rt = Runtime::with_workers(workers);
+        let n = 5_000u64;
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("spawn_wait", workers), &n, |b, &n| {
+            b.iter(|| {
+                for i in 0..n {
+                    rt.spawn(move |_| {
+                        black_box(i);
+                    });
+                }
+                rt.wait_idle();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_futures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("futures");
+    g.bench_function("channel_set_get", |b| {
+        b.iter(|| {
+            let (p, f) = channel();
+            p.set(black_box(42u64));
+            black_box(*f.get())
+        });
+    });
+    g.bench_function("when_all_64", |b| {
+        b.iter(|| {
+            let pairs: Vec<_> = (0..64).map(|_| channel::<u64>()).collect();
+            let futs: Vec<SharedFuture<u64>> = pairs.iter().map(|(_, f)| f.clone()).collect();
+            let all = when_all(&futs);
+            for (i, (p, _)) in pairs.into_iter().enumerate() {
+                p.set(i as u64);
+            }
+            black_box(all.get().len())
+        });
+    });
+    let rt = Runtime::with_workers(2);
+    g.bench_function("dataflow_chain_100", |b| {
+        b.iter(|| {
+            let mut f = rt.async_call(|_| 0u64);
+            for _ in 0..100 {
+                f = rt.dataflow(&[f], |_, v| *v[0] + 1);
+            }
+            black_box(*f.get())
+        });
+    });
+    g.finish();
+}
+
+fn bench_scheduler_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    let numa = NumaTopology::block(4, 2);
+    let sched = Scheduler::new(numa, SchedulerKind::PriorityLocalFifo, 1);
+    let counters = ThreadCounters::new(4);
+    g.bench_function("find_work_miss_sweep", |b| {
+        b.iter(|| black_box(sched.find_work(0, &counters).is_none()));
+    });
+    g.bench_function("push_convert_dispatch", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            sched
+                .queues
+                .push_staged(0, StagedTask::once(TaskId(id), Priority::Normal, |_| {}));
+            black_box(sched.find_work(0, &counters).is_some())
+        });
+    });
+    g.bench_function("steal_from_peer", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            sched
+                .queues
+                .push_staged(1, StagedTask::once(TaskId(id), Priority::Normal, |_| {}));
+            black_box(sched.find_work(0, &counters).is_some())
+        });
+    });
+    g.finish();
+}
+
+fn bench_stencil_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stencil_kernel");
+    for nx in [1_000usize, 100_000] {
+        let mid = vec![1.0f64; nx];
+        let l = [0.5f64];
+        let r = [2.0f64];
+        g.throughput(Throughput::Elements(nx as u64));
+        g.bench_with_input(BenchmarkId::new("heat_part", nx), &nx, |b, _| {
+            b.iter(|| black_box(heat_part(0.5, &l, &mid, &r)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_native_stencil(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_stencil");
+    g.sample_size(10);
+    for nx in [1_000usize, 25_000] {
+        let params = StencilParams::for_total(100_000, nx, 5);
+        let rt = Runtime::with_workers(2);
+        g.throughput(Throughput::Elements((params.total_points() * params.nt) as u64));
+        g.bench_with_input(BenchmarkId::new("run", nx), &params, |b, p| {
+            b.iter(|| black_box(run_futurized(&rt, p).len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    // Event throughput: 10k-task stencil DAG on 8 simulated cores.
+    let params = StencilParams::for_total(1_000_000, 500, 5);
+    let wl = stencil_workload(&params);
+    let hw = presets::haswell();
+    g.throughput(Throughput::Elements(wl.len() as u64));
+    g.bench_function("stencil_10k_tasks_8c", |b| {
+        b.iter(|| black_box(simulate(&hw, 8, &wl, &SimConfig::default()).tasks));
+    });
+    let wl = SimWorkload::independent(10_000, 1_000);
+    g.throughput(Throughput::Elements(wl.len() as u64));
+    g.bench_function("independent_10k_tasks_28c", |b| {
+        b.iter(|| black_box(simulate(&hw, 28, &wl, &SimConfig::default()).tasks));
+    });
+    g.finish();
+}
+
+fn bench_parallel_for_grain(c: &mut Criterion) {
+    use grain_runtime::algorithms::parallel_for;
+    let mut g = c.benchmark_group("parallel_for_grain");
+    g.sample_size(10);
+    let rt = Runtime::with_workers(2);
+    let n = 1 << 16;
+    for grain in [16usize, 256, 4_096, 65_536] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("sum_squares", grain), &grain, |b, &grain| {
+            b.iter(|| {
+                parallel_for(&rt, 0..n, grain, |i| {
+                    black_box(i * i);
+                })
+                .get()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    use grain_adaptive::{adapt, ThresholdTuner, TunerConfig};
+    use grain_metrics::sweep::SimEngine;
+    let mut g = c.benchmark_group("adaptive");
+    g.sample_size(10);
+    g.bench_function("threshold_tuner_convergence", |b| {
+        b.iter(|| {
+            let engine = SimEngine::scaled(presets::haswell(), 1_000_000, 4);
+            let mut tuner = ThresholdTuner::new(TunerConfig {
+                initial_nx: 250,
+                ..TunerConfig::default()
+            });
+            black_box(adapt(&engine, 8, &mut tuner, 16).final_nx)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_task_spawn,
+    bench_futures,
+    bench_scheduler_queues,
+    bench_stencil_kernel,
+    bench_native_stencil,
+    bench_simulator,
+    bench_parallel_for_grain,
+    bench_adaptive,
+);
+criterion_main!(benches);

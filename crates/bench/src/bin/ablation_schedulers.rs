@@ -1,0 +1,104 @@
+//! Ablation — scheduler design choices the paper's runtime embodies:
+//!
+//! 1. native runtime: Priority Local-FIFO vs no-stealing vs NUMA-blind
+//!    stealing, on a host-scaled stencil (tasks stolen, exec time,
+//!    idle-rate);
+//! 2. simulator: sensitivity of the Fig. 3 valley to the queue-operation
+//!    cost (what happens if the scheduler's constant costs grow 4x/16x).
+
+use grain_bench::Cli;
+use grain_metrics::table;
+use grain_metrics::{RunRecord, SimEngine};
+use grain_runtime::{Runtime, RuntimeConfig, SchedulerKind};
+use grain_stencil::{run_futurized, StencilParams};
+use grain_topology::presets;
+
+fn native_run(kind: SchedulerKind, workers: usize, params: &StencilParams) -> RunRecord {
+    let rt = Runtime::new(RuntimeConfig {
+        workers,
+        scheduler: kind,
+        ..RuntimeConfig::default()
+    });
+    let t0 = std::time::Instant::now();
+    let _ = run_futurized(&rt, params);
+    RunRecord::from_native(&rt, t0.elapsed().as_secs_f64(), params)
+}
+
+fn main() {
+    let cli = Cli::parse();
+
+    // Part 1: native scheduler variants.
+    let params = StencilParams::for_total(2_000_000, 5_000, 10);
+    let workers = 4;
+    let headers = ["scheduler", "exec(s)", "idle-rate", "stolen", "pending-misses"];
+    let mut rows = Vec::new();
+    for (name, kind) in [
+        ("priority-local-fifo", SchedulerKind::PriorityLocalFifo),
+        ("no-steal", SchedulerKind::NoSteal),
+        ("numa-blind", SchedulerKind::NumaBlind),
+    ] {
+        let mut exec = grain_counters::SampleStats::new();
+        let mut last = None;
+        for _ in 0..cli.samples.max(3) {
+            let rec = native_run(kind, workers, &params);
+            exec.push(rec.wall_s);
+            last = Some(rec);
+        }
+        let rec = last.unwrap();
+        rows.push(vec![
+            name.to_owned(),
+            table::fmt::s(exec.mean()),
+            table::fmt::pct(rec.idle_rate()),
+            table::fmt::count(rec.stolen as f64),
+            table::fmt::count(rec.pending_misses as f64),
+        ]);
+    }
+    print!(
+        "{}",
+        table::render(
+            &format!(
+                "Ablation 1: native scheduler policies — host, {workers} workers, nx={} np={} nt={}",
+                params.nx, params.np, params.nt
+            ),
+            &headers,
+            &rows
+        )
+    );
+    println!();
+
+    // Part 2: queue-cost sensitivity in the simulator.
+    let headers = ["cost scale", "best nx @28c", "best exec(s)", "exec(s) @ nx=2500"];
+    let mut rows = Vec::new();
+    for scale in [1.0, 4.0, 16.0] {
+        let mut platform = presets::haswell();
+        platform.perf.queue_probe_ns *= scale;
+        platform.perf.convert_ns *= scale;
+        platform.perf.dispatch_ns *= scale;
+        platform.perf.spawn_ns *= scale;
+        let engine = SimEngine::scaled(platform, 100_000_000, 10);
+        let grid = [2_500usize, 12_500, 40_000, 160_000, 1_000_000];
+        let sweep = grain_metrics::run_sweep(&engine, &grid, &[28], 1, None);
+        let (best_nx, best_s) = sweep.best_nx(28).unwrap();
+        let fine = sweep.cell(2_500, 28).unwrap().agg.wall_s.mean();
+        rows.push(vec![
+            format!("{scale}x"),
+            table::fmt::count(best_nx as f64),
+            table::fmt::s(best_s),
+            table::fmt::s(fine),
+        ]);
+    }
+    print!(
+        "{}",
+        table::render(
+            "Ablation 2: scheduler-cost sensitivity — simulated Haswell, 28 cores (10 steps)",
+            &headers,
+            &rows
+        )
+    );
+    println!(
+        "\nCheck: stealing is what keeps the dataflow balanced (no-steal collapses\n\
+         onto few workers); costlier scheduler operations push the optimal\n\
+         granularity coarser and punish the fine-grained edge hardest —\n\
+         the paper's core claim about overhead-vs-granularity coupling."
+    );
+}

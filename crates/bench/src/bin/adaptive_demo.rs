@@ -1,0 +1,63 @@
+//! Extension experiment — the paper's stated goal (§VI): *dynamic* grain
+//! adaptation. Starting from a pathologically fine and a pathologically
+//! coarse granularity, the idle-rate-threshold tuner re-partitions the
+//! grid between epochs until the counters say the size is adequate.
+
+use grain_adaptive::{adapt, ThresholdTuner, TunerConfig};
+use grain_bench::Cli;
+use grain_metrics::sweep::SimEngine;
+use grain_metrics::table;
+
+fn main() {
+    let cli = Cli::parse();
+    let p = cli.platform_or("haswell");
+    let workers = p.usable_cores;
+    let engine = SimEngine::paper(p.clone());
+
+    for (label, initial_nx) in [("fine start", 1_000usize), ("coarse start", 50_000_000)] {
+        let mut tuner = ThresholdTuner::new(TunerConfig {
+            initial_nx,
+            target_idle_rate: 0.30,
+            ..TunerConfig::default()
+        });
+        eprintln!("# adapting from {label} (nx={initial_nx}) on {} {workers} cores…", p.name);
+        let trace = adapt(&engine, workers, &mut tuner, 24);
+
+        let headers = ["epoch", "nx", "exec(s)", "idle-rate", "Gpt/s"];
+        let rows: Vec<Vec<String>> = trace
+            .epochs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                vec![
+                    i.to_string(),
+                    table::fmt::count(e.nx as f64),
+                    table::fmt::s(e.wall_s),
+                    table::fmt::pct(e.idle_rate),
+                    format!("{:.3}", e.points_per_s / 1e9),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            table::render(
+                &format!(
+                    "Adaptive grain-size trace — {} {workers} cores, {label} (converged: {})",
+                    p.name, trace.converged
+                ),
+                &headers,
+                &rows
+            )
+        );
+        println!(
+            "  final nx = {}, throughput gain over first epoch = {:.2}x\n",
+            trace.final_nx,
+            trace.speedup()
+        );
+    }
+    println!(
+        "Check: from both extremes the tuner converges into the flat region of\n\
+         Fig. 3 using only the runtime's own counters — the adaptivity the paper's\n\
+         characterization was designed to enable."
+    );
+}

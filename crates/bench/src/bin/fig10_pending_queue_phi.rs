@@ -1,0 +1,10 @@
+//! Fig. 10 (a–c) — pending-queue accesses and execution time vs partition
+//! size on the Xeon Phi at 16/32/60 cores.
+
+use grain_bench::{fig_pending_queue, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = cli.platform_or("xeon-phi");
+    fig_pending_queue(&p, &[16, 32, 60], &cli, "Fig. 10");
+}

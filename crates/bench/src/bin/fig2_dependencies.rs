@@ -1,0 +1,48 @@
+//! Fig. 2 — dependency structure of the HPX-Stencil benchmark: each
+//! partition's next step depends on the three closest partitions of the
+//! previous step. Verified against both the simulated DAG and the native
+//! futurized execution.
+
+use grain_runtime::Runtime;
+use grain_stencil::{run_futurized, run_sequential, stencil_workload, StencilParams};
+
+fn main() {
+    let params = StencilParams::new(8, 5, 3);
+    let wl = stencil_workload(&params);
+
+    println!("Fig. 2: HPX-Stencil dependencies (np=5 partitions, nt=3 steps)");
+    println!();
+    for t in 0..params.nt {
+        for i in 0..params.np {
+            let idx = t * params.np + i;
+            let deps = &wl.tasks[idx].deps;
+            if t == 0 {
+                println!("  step {t} partition {i}: task#{idx:<3} <- (initial values ready)");
+            } else {
+                println!(
+                    "  step {t} partition {i}: task#{idx:<3} <- tasks {:?} (partitions {}, {}, {} of step {})",
+                    deps,
+                    (i + params.np - 1) % params.np,
+                    i,
+                    (i + 1) % params.np,
+                    t - 1
+                );
+            }
+        }
+    }
+    wl.validate().expect("stencil DAG is well-formed");
+    assert_eq!(wl.len(), params.total_tasks());
+
+    // The dependency structure is not just shaped right — executing it
+    // out-of-order under work stealing yields bit-identical physics.
+    let rt = Runtime::with_workers(4);
+    let fut = run_futurized(&rt, &params);
+    let seq = run_sequential(&params);
+    assert_eq!(fut, seq, "dataflow execution must match the sequential oracle");
+    println!();
+    println!(
+        "OK: {} tasks, 3 dependencies each past step 0; futurized execution on 4 \
+         workers is bit-identical to the sequential oracle.",
+        wl.len()
+    );
+}

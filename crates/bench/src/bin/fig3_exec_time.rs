@@ -1,0 +1,48 @@
+//! Fig. 3 (a–d) — execution time vs task granularity (partition size)
+//! for increasing core counts on all four Table I platforms.
+
+use grain_bench::{print_series, sweep_platform, Cli};
+use grain_metrics::table;
+use grain_topology::presets;
+
+fn main() {
+    let cli = Cli::parse();
+    let platforms = match &cli.platform {
+        Some(name) => vec![cli.platform_or(name)],
+        None => vec![
+            presets::sandy_bridge(),
+            presets::ivy_bridge(),
+            presets::haswell(),
+            presets::xeon_phi(),
+        ],
+    };
+    for (sub, p) in ["a", "b", "c", "d"].iter().zip(&platforms) {
+        let cores = p.core_sweep();
+        let sweep = sweep_platform(p, &cli.grid(), &cores, cli.samples);
+        print_series(
+            &format!(
+                "Fig. 3{sub}: execution time (s) vs partition size — {} ({} steps)",
+                p.name,
+                if p.name == "Xeon Phi" { 5 } else { 50 }
+            ),
+            &sweep,
+            &cores,
+            "exec(s)",
+            cli.csv,
+            |cell| table::fmt::s(cell.agg.wall_s.mean()),
+        );
+        if let Some((nx, t)) = sweep.best_nx(*cores.last().unwrap()) {
+            println!(
+                "  minimum at {} cores: {:.3}s @ partition {}\n",
+                cores.last().unwrap(),
+                t,
+                nx
+            );
+        }
+    }
+    println!(
+        "Check (paper §IV): every curve is U-shaped — task-management overheads blow\n\
+         up the fine-grained left edge, starvation the coarse right edge; past ~8\n\
+         cores the flat region barely improves (bandwidth saturation)."
+    );
+}

@@ -1,0 +1,10 @@
+//! Fig. 4 (a–c) — idle-rate and execution time vs partition size on
+//! Haswell at 8, 16 and 28 cores.
+
+use grain_bench::{fig_idle_rate, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = cli.platform_or("haswell");
+    fig_idle_rate(&p, &[8, 16, 28], &cli, "Fig. 4");
+}

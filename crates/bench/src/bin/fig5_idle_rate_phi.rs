@@ -1,0 +1,10 @@
+//! Fig. 5 (a–c) — idle-rate and execution time vs partition size on the
+//! Xeon Phi at 16, 32 and 60 cores.
+
+use grain_bench::{fig_idle_rate, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = cli.platform_or("xeon-phi");
+    fig_idle_rate(&p, &[16, 32, 60], &cli, "Fig. 5");
+}

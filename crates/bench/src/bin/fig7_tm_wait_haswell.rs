@@ -1,0 +1,10 @@
+//! Fig. 7 (a–c) — execution time vs HPX-thread management (Eq. 4), wait
+//! time (Eq. 6) and their sum, on Haswell at 8/16/28 cores.
+
+use grain_bench::{fig_tm_wait, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = cli.platform_or("haswell");
+    fig_tm_wait(&p, &[8, 16, 28], &cli, "Fig. 7");
+}

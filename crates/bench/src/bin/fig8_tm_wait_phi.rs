@@ -1,0 +1,10 @@
+//! Fig. 8 (a–c) — execution time vs HPX-thread management (Eq. 4), wait
+//! time (Eq. 6) and their sum, on the Xeon Phi at 16/32/60 cores.
+
+use grain_bench::{fig_tm_wait, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = cli.platform_or("xeon-phi");
+    fig_tm_wait(&p, &[16, 32, 60], &cli, "Fig. 8");
+}

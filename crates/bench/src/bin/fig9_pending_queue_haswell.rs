@@ -1,0 +1,10 @@
+//! Fig. 9 (a–c) — pending-queue accesses and execution time vs partition
+//! size on Haswell at 8/16/28 cores.
+
+use grain_bench::{fig_pending_queue, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = cli.platform_or("haswell");
+    fig_pending_queue(&p, &[8, 16, 28], &cli, "Fig. 9");
+}

@@ -1,0 +1,80 @@
+//! Extension experiment — the §V/§VI integration: grain adaptation plus
+//! worker throttling, driven by the counters, on a simulated Haswell at
+//! paper scale. Reports the trajectory and the energy proxy
+//! (core-seconds) saved versus an unmanaged run.
+
+use grain_adaptive::{
+    run_policy_epochs, GrainPolicy, PolicyEngine, ThresholdTuner, ThrottlePolicy, TunerConfig,
+};
+use grain_bench::Cli;
+use grain_metrics::sweep::SimEngine;
+use grain_metrics::table;
+
+fn main() {
+    let cli = Cli::parse();
+    let p = cli.platform_or("haswell");
+    let workers = p.usable_cores;
+    let engine = SimEngine::paper(p.clone());
+    let start_nx = 25_000_000; // 4 partitions on 28 cores: badly starved
+
+    let run = |with_policies: bool| {
+        let mut pe = if with_policies {
+            PolicyEngine::new(vec![
+                Box::new(GrainPolicy::new(ThresholdTuner::new(TunerConfig {
+                    initial_nx: start_nx,
+                    target_idle_rate: 0.30,
+                    ..TunerConfig::default()
+                }))),
+                Box::new(ThrottlePolicy::default()),
+            ])
+        } else {
+            PolicyEngine::new(vec![])
+        };
+        run_policy_epochs(&engine, start_nx, workers, 10, &mut pe)
+    };
+
+    eprintln!("# running managed trajectory…");
+    let managed = run(true);
+    eprintln!("# running unmanaged baseline…");
+    let unmanaged = run(false);
+
+    let headers = ["epoch", "nx", "workers", "idle-rate", "exec(s)", "core-sec"];
+    let rows: Vec<Vec<String>> = managed
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            vec![
+                i.to_string(),
+                table::fmt::count(e.nx as f64),
+                e.active_workers.to_string(),
+                table::fmt::pct(e.idle_rate),
+                table::fmt::s(e.wall_s),
+                table::fmt::s(e.core_seconds),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table::render(
+            &format!(
+                "Policy engine (grain + throttle) — {} starting at nx={start_nx}, {workers} cores",
+                p.name
+            ),
+            &headers,
+            &rows
+        )
+    );
+
+    let cs_m: f64 = managed.iter().map(|e| e.core_seconds).sum();
+    let cs_u: f64 = unmanaged.iter().map(|e| e.core_seconds).sum();
+    let t_m: f64 = managed.iter().map(|e| e.wall_s).sum();
+    let t_u: f64 = unmanaged.iter().map(|e| e.wall_s).sum();
+    println!(
+        "\nmanaged:   {t_m:.2}s wall, {cs_m:.1} core-seconds\n\
+         unmanaged: {t_u:.2}s wall, {cs_u:.1} core-seconds\n\
+         → {:.1}% faster and {:.1}% less energy proxy, from the same counters\n\
+         the paper's methodology identified.",
+        (1.0 - t_m / t_u) * 100.0,
+        (1.0 - cs_m / cs_u) * 100.0
+    );
+}

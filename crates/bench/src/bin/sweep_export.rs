@@ -1,0 +1,29 @@
+//! Export full sweep data as CSV files for external plotting: one file
+//! per platform under `results/`, every cell with every metric (exec
+//! time mean/COV, Eqs. 1-6, queue counters).
+//!
+//! ```sh
+//! cargo run --release -p grain-bench --bin sweep_export -- --quick
+//! ```
+
+use grain_bench::{sweep_platform, Cli};
+use grain_topology::presets;
+
+fn main() {
+    let cli = Cli::parse();
+    let platforms = match &cli.platform {
+        Some(name) => vec![cli.platform_or(name)],
+        None => presets::table1(),
+    };
+    std::fs::create_dir_all("results").expect("create results/");
+    for p in platforms {
+        let cores = p.core_sweep();
+        let sweep = sweep_platform(&p, &cli.grid(), &cores, cli.samples);
+        let path = format!(
+            "results/sweep_{}.csv",
+            p.name.to_ascii_lowercase().replace(' ', "_")
+        );
+        std::fs::write(&path, sweep.to_csv()).expect("write CSV");
+        println!("wrote {path} ({} cells)", sweep.cells.len());
+    }
+}

@@ -1,0 +1,50 @@
+//! Table I — platform specifications of the four experimental nodes.
+
+use grain_metrics::table;
+use grain_topology::presets;
+
+fn main() {
+    let platforms = presets::table1();
+    let headers = [
+        "Node", "Processors", "Clock", "Microarchitecture", "HW threading",
+        "Cores", "Cache/Core", "Shared cache", "RAM",
+    ];
+    let rows: Vec<Vec<String>> = platforms
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                p.processors.clone(),
+                if p.turbo_ghz > p.clock_ghz {
+                    format!("{} GHz ({} turbo)", p.clock_ghz, p.turbo_ghz)
+                } else {
+                    format!("{} GHz", p.clock_ghz)
+                },
+                p.microarchitecture.clone(),
+                format!(
+                    "{}-way{}",
+                    p.hw_threads_per_core,
+                    if p.hw_threads_active { "" } else { " (deactivated)" }
+                ),
+                p.cores.to_string(),
+                format!(
+                    "{} KB L1(D,I), {} KB L2",
+                    p.cache.l1d_bytes / 1024,
+                    p.cache.l2_bytes / 1024
+                ),
+                if p.cache.llc_bytes_per_socket > 0 {
+                    format!("{} MB", p.cache.llc_bytes_per_socket / 1024 / 1024)
+                } else {
+                    "-".to_owned()
+                },
+                format!("{} GB", p.ram_bytes / 1024 / 1024 / 1024),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table::render("Table I: Platform Specifications", &headers, &rows)
+    );
+    println!("CSV:");
+    print!("{}", table::csv(&headers, &rows));
+}

@@ -1,0 +1,307 @@
+//! Symbolic counter paths.
+//!
+//! HPX addresses every performance counter with a symbolic name of the form
+//!
+//! ```text
+//! /objectname{full_instancename}/countername@parameters
+//! ```
+//!
+//! e.g. `/threads{locality#0/worker-thread#1}/idle-rate`. This module
+//! implements a parser and formatter for that grammar, restricted to the
+//! pieces the paper's study actually uses: an object, an optional instance,
+//! a multi-segment counter name and an optional parameter string.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed counter path.
+///
+/// ```
+/// use grain_counters::CounterPath;
+///
+/// let p: CounterPath = "/threads{locality#0/worker-thread#1}/idle-rate"
+///     .parse()
+///     .unwrap();
+/// assert_eq!(p.object, "threads");
+/// assert_eq!(p.instance.as_deref(), Some("locality#0/worker-thread#1"));
+/// assert_eq!(p.name, "idle-rate");
+/// assert_eq!(p.to_string(), "/threads{locality#0/worker-thread#1}/idle-rate");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CounterPath {
+    /// The performance object, e.g. `threads`.
+    pub object: String,
+    /// Optional instance qualifier, e.g. `locality#0/worker-thread#1` or
+    /// `locality#0/total`.
+    pub instance: Option<String>,
+    /// The counter name below the object, e.g. `idle-rate` or
+    /// `count/cumulative` (may contain `/`).
+    pub name: String,
+    /// Optional parameter suffix introduced by `@`.
+    pub parameters: Option<String>,
+}
+
+/// Error produced when a counter path cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathError {
+    msg: String,
+}
+
+impl PathError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid counter path: {}", self.msg)
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl CounterPath {
+    /// Build a path from an object and a counter name, with no instance.
+    pub fn new(object: impl Into<String>, name: impl Into<String>) -> Self {
+        Self {
+            object: object.into(),
+            instance: None,
+            name: name.into(),
+            parameters: None,
+        }
+    }
+
+    /// Return a copy of this path with the given instance qualifier.
+    #[must_use]
+    pub fn with_instance(mut self, instance: impl Into<String>) -> Self {
+        self.instance = Some(instance.into());
+        self
+    }
+
+    /// Return a copy of this path with the given `@parameters` suffix.
+    #[must_use]
+    pub fn with_parameters(mut self, parameters: impl Into<String>) -> Self {
+        self.parameters = Some(parameters.into());
+        self
+    }
+
+    /// The path with the instance qualifier removed:
+    /// `/threads{locality#0/total}/idle-rate` → `/threads/idle-rate`.
+    ///
+    /// Useful for grouping per-worker instances of the same counter.
+    pub fn base(&self) -> CounterPath {
+        CounterPath {
+            object: self.object.clone(),
+            instance: None,
+            name: self.name.clone(),
+            parameters: self.parameters.clone(),
+        }
+    }
+
+    /// True if this path denotes the aggregate (`total`) instance or has no
+    /// instance qualifier at all.
+    pub fn is_total(&self) -> bool {
+        match &self.instance {
+            None => true,
+            Some(i) => i.ends_with("/total") || i == "total",
+        }
+    }
+
+    /// Instance string for worker `w` on locality 0, the convention used by
+    /// every component in this project.
+    pub fn worker_instance(w: usize) -> String {
+        format!("locality#0/worker-thread#{w}")
+    }
+
+    /// Instance string for the aggregate over all workers on locality 0.
+    pub fn total_instance() -> String {
+        "locality#0/total".to_owned()
+    }
+
+    /// True if `self` (possibly containing a trailing `*` wildcard in its
+    /// name) matches `other`. Only the counter *name* may carry a wildcard;
+    /// objects must match exactly and an absent instance acts as a wildcard
+    /// over instances.
+    pub fn matches(&self, other: &CounterPath) -> bool {
+        if self.object != other.object {
+            return false;
+        }
+        if let Some(inst) = &self.instance {
+            if other.instance.as_deref() != Some(inst.as_str()) {
+                return false;
+            }
+        }
+        if let Some(prefix) = self.name.strip_suffix('*') {
+            other.name.starts_with(prefix)
+        } else {
+            self.name == other.name
+        }
+    }
+}
+
+impl FromStr for CounterPath {
+    type Err = PathError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix('/')
+            .ok_or_else(|| PathError::new(format!("`{s}` must start with '/'")))?;
+
+        // Split the object (and optional {instance}) from the counter name.
+        let (object, instance, name_part) = if let Some(brace) = rest.find('{') {
+            let object = &rest[..brace];
+            let close = rest
+                .find('}')
+                .ok_or_else(|| PathError::new(format!("`{s}` has unterminated '{{'")))?;
+            if close < brace {
+                return Err(PathError::new(format!("`{s}` has '}}' before '{{'")));
+            }
+            let instance = &rest[brace + 1..close];
+            let tail = rest[close + 1..]
+                .strip_prefix('/')
+                .ok_or_else(|| PathError::new(format!("`{s}` missing '/' after instance")))?;
+            (object, Some(instance), tail)
+        } else {
+            let slash = rest
+                .find('/')
+                .ok_or_else(|| PathError::new(format!("`{s}` missing counter name")))?;
+            (&rest[..slash], None, &rest[slash + 1..])
+        };
+
+        if object.is_empty() {
+            return Err(PathError::new(format!("`{s}` has empty object")));
+        }
+
+        let (name, parameters) = match name_part.split_once('@') {
+            Some((n, p)) => (n, Some(p.to_owned())),
+            None => (name_part, None),
+        };
+        if name.is_empty() {
+            return Err(PathError::new(format!("`{s}` has empty counter name")));
+        }
+
+        Ok(CounterPath {
+            object: object.to_owned(),
+            instance: instance.map(str::to_owned),
+            name: name.to_owned(),
+            parameters,
+        })
+    }
+}
+
+impl fmt::Display for CounterPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "/{}", self.object)?;
+        if let Some(inst) = &self.instance {
+            write!(f, "{{{inst}}}")?;
+        }
+        write!(f, "/{}", self.name)?;
+        if let Some(p) = &self.parameters {
+            write!(f, "@{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_path() {
+        let p: CounterPath = "/threads/idle-rate".parse().unwrap();
+        assert_eq!(p.object, "threads");
+        assert_eq!(p.instance, None);
+        assert_eq!(p.name, "idle-rate");
+        assert_eq!(p.parameters, None);
+    }
+
+    #[test]
+    fn parses_instance() {
+        let p: CounterPath = "/threads{locality#0/total}/count/cumulative"
+            .parse()
+            .unwrap();
+        assert_eq!(p.object, "threads");
+        assert_eq!(p.instance.as_deref(), Some("locality#0/total"));
+        assert_eq!(p.name, "count/cumulative");
+        assert!(p.is_total());
+    }
+
+    #[test]
+    fn parses_parameters() {
+        let p: CounterPath = "/threads/idle-rate@interval=100ms".parse().unwrap();
+        assert_eq!(p.parameters.as_deref(), Some("interval=100ms"));
+    }
+
+    #[test]
+    fn roundtrips_display() {
+        for s in [
+            "/threads/idle-rate",
+            "/threads{locality#0/worker-thread#7}/time/average",
+            "/threads{locality#0/total}/count/pending-accesses",
+            "/threads/idle-rate@window=5",
+        ] {
+            let p: CounterPath = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in [
+            "threads/idle-rate",
+            "/threads",
+            "//idle-rate",
+            "/threads{unterminated/idle-rate",
+            "/threads{x}no-slash",
+            "/threads/",
+        ] {
+            assert!(s.parse::<CounterPath>().is_err(), "should reject `{s}`");
+        }
+    }
+
+    #[test]
+    fn multi_segment_name_without_instance() {
+        let p: CounterPath = "/threads/count/pending-misses".parse().unwrap();
+        assert_eq!(p.name, "count/pending-misses");
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        let pat: CounterPath = "/threads/count/*".parse().unwrap();
+        let a: CounterPath = "/threads/count/cumulative".parse().unwrap();
+        let b: CounterPath = "/threads/time/average".parse().unwrap();
+        assert!(pat.matches(&a));
+        assert!(!pat.matches(&b));
+    }
+
+    #[test]
+    fn instance_wildcard_matching() {
+        let pat: CounterPath = "/threads/idle-rate".parse().unwrap();
+        let inst: CounterPath = "/threads{locality#0/worker-thread#1}/idle-rate"
+            .parse()
+            .unwrap();
+        // pattern without instance matches any instance…
+        assert!(pat.matches(&inst));
+        // …but a pattern with an instance requires that exact instance.
+        assert!(!inst.matches(&pat));
+    }
+
+    #[test]
+    fn base_strips_instance() {
+        let p: CounterPath = "/threads{locality#0/worker-thread#1}/idle-rate"
+            .parse()
+            .unwrap();
+        assert_eq!(p.base().to_string(), "/threads/idle-rate");
+    }
+
+    #[test]
+    fn worker_instance_formatting() {
+        assert_eq!(
+            CounterPath::worker_instance(3),
+            "locality#0/worker-thread#3"
+        );
+        assert_eq!(CounterPath::total_instance(), "locality#0/total");
+    }
+}

@@ -1,0 +1,346 @@
+//! The counter registry: symbolic name → live counter.
+//!
+//! HPX maps every counter to an immutable name in its global address space;
+//! on a single locality that reduces to a registry keyed by
+//! [`CounterPath`]. Components (the scheduler, the application, the
+//! adaptation engine) register counters at startup and anyone can discover
+//! and query them at runtime.
+
+use crate::path::CounterPath;
+use crate::raw::{RawCounter, Sharded};
+use crate::value::{CounterValue, Unit};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A queryable performance counter. Implemented by raw counters, sharded
+/// counters and derived (computed) counters.
+pub trait Counter: Send + Sync {
+    /// Take a sample.
+    fn value(&self) -> CounterValue;
+    /// Reset the counter to the beginning of a monitoring epoch.
+    /// Derived counters reset their inputs' contribution if they own them;
+    /// most derived counters are pure views and do nothing.
+    fn reset(&self);
+}
+
+/// Adapter exposing a [`RawCounter`] through the [`Counter`] trait.
+pub struct RawView {
+    counter: Arc<RawCounter>,
+    unit: Unit,
+}
+
+impl RawView {
+    /// Expose `counter` with the given unit.
+    pub fn new(counter: Arc<RawCounter>, unit: Unit) -> Self {
+        Self { counter, unit }
+    }
+}
+
+impl Counter for RawView {
+    fn value(&self) -> CounterValue {
+        CounterValue::now(self.counter.get() as f64, self.unit)
+    }
+    fn reset(&self) {
+        self.counter.reset();
+    }
+}
+
+/// Adapter exposing the *sum* of a [`Sharded`] counter (the `total`
+/// instance).
+pub struct ShardedTotal {
+    counter: Arc<Sharded>,
+    unit: Unit,
+}
+
+impl ShardedTotal {
+    /// Expose the sum over all shards of `counter`.
+    pub fn new(counter: Arc<Sharded>, unit: Unit) -> Self {
+        Self { counter, unit }
+    }
+}
+
+impl Counter for ShardedTotal {
+    fn value(&self) -> CounterValue {
+        CounterValue::now(self.counter.sum() as f64, self.unit)
+    }
+    fn reset(&self) {
+        self.counter.reset();
+    }
+}
+
+/// Adapter exposing a single shard of a [`Sharded`] counter (a per-worker
+/// instance).
+pub struct ShardedWorker {
+    counter: Arc<Sharded>,
+    worker: usize,
+    unit: Unit,
+}
+
+impl ShardedWorker {
+    /// Expose shard `worker` of `counter`.
+    pub fn new(counter: Arc<Sharded>, worker: usize, unit: Unit) -> Self {
+        assert!(worker < counter.shard_count(), "worker index out of range");
+        Self {
+            counter,
+            worker,
+            unit,
+        }
+    }
+}
+
+impl Counter for ShardedWorker {
+    fn value(&self) -> CounterValue {
+        CounterValue::now(self.counter.get(self.worker) as f64, self.unit)
+    }
+    fn reset(&self) {
+        // Resetting a single worker's shard would desynchronize the total;
+        // per-worker views reset the whole family, as HPX does for
+        // aggregate counters.
+        self.counter.reset();
+    }
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The path string failed to parse.
+    BadPath(String),
+    /// A counter is already registered under this path.
+    Duplicate(String),
+    /// No counter is registered under this path.
+    NotFound(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::BadPath(p) => write!(f, "bad counter path: {p}"),
+            RegistryError::Duplicate(p) => write!(f, "counter already registered: {p}"),
+            RegistryError::NotFound(p) => write!(f, "no such counter: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The counter registry.
+///
+/// Registration happens at startup (cold); queries happen at runtime (warm
+/// but not hot — the hot path increments raw counters directly). A
+/// `BTreeMap` keeps discovery output deterministically ordered.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<dyn Counter>>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `counter` under `path`.
+    pub fn register(
+        &self,
+        path: &str,
+        counter: impl Counter + 'static,
+    ) -> Result<(), RegistryError> {
+        self.register_arc(path, Arc::new(counter))
+    }
+
+    /// Register an already-shared counter under `path`.
+    pub fn register_arc(
+        &self,
+        path: &str,
+        counter: Arc<dyn Counter>,
+    ) -> Result<(), RegistryError> {
+        let parsed: CounterPath = path
+            .parse()
+            .map_err(|_| RegistryError::BadPath(path.to_owned()))?;
+        let key = parsed.to_string();
+        let mut map = self.counters.write();
+        if map.contains_key(&key) {
+            return Err(RegistryError::Duplicate(key));
+        }
+        map.insert(key, counter);
+        Ok(())
+    }
+
+    /// Sample the counter registered under `path`.
+    pub fn query(&self, path: &str) -> Result<CounterValue, RegistryError> {
+        let parsed: CounterPath = path
+            .parse()
+            .map_err(|_| RegistryError::BadPath(path.to_owned()))?;
+        let key = parsed.to_string();
+        let map = self.counters.read();
+        map.get(&key)
+            .map(|c| c.value())
+            .ok_or(RegistryError::NotFound(key))
+    }
+
+    /// All registered paths matching `pattern` (a path whose counter name
+    /// may end in `*`, and whose missing instance matches any instance),
+    /// in lexicographic order.
+    pub fn discover(&self, pattern: &str) -> Result<Vec<String>, RegistryError> {
+        let pat: CounterPath = pattern
+            .parse()
+            .map_err(|_| RegistryError::BadPath(pattern.to_owned()))?;
+        let map = self.counters.read();
+        Ok(map
+            .keys()
+            .filter(|k| {
+                k.parse::<CounterPath>()
+                    .map(|p| pat.matches(&p))
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect())
+    }
+
+    /// Sample every counter matching `pattern`, keyed by path.
+    pub fn query_all(
+        &self,
+        pattern: &str,
+    ) -> Result<Vec<(String, CounterValue)>, RegistryError> {
+        let names = self.discover(pattern)?;
+        let map = self.counters.read();
+        Ok(names
+            .into_iter()
+            .filter_map(|n| map.get(&n).map(|c| (n.clone(), c.value())))
+            .collect())
+    }
+
+    /// All registered paths.
+    pub fn paths(&self) -> Vec<String> {
+        self.counters.read().keys().cloned().collect()
+    }
+
+    /// Reset every registered counter (start of a monitoring epoch).
+    pub fn reset_all(&self) {
+        for c in self.counters.read().values() {
+            c.reset();
+        }
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.counters.read().len()
+    }
+
+    /// True if no counter has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg_with_raw(path: &str) -> (Registry, Arc<RawCounter>) {
+        let reg = Registry::new();
+        let c = Arc::new(RawCounter::new());
+        reg.register(path, RawView::new(Arc::clone(&c), Unit::Count))
+            .unwrap();
+        (reg, c)
+    }
+
+    #[test]
+    fn register_and_query() {
+        let (reg, c) = reg_with_raw("/threads/count/cumulative");
+        c.add(7);
+        let v = reg.query("/threads/count/cumulative").unwrap();
+        assert_eq!(v.as_count(), 7);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let (reg, _) = reg_with_raw("/threads/count/cumulative");
+        let err = reg
+            .register(
+                "/threads/count/cumulative",
+                RawView::new(Arc::new(RawCounter::new()), Unit::Count),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Duplicate(_)));
+    }
+
+    #[test]
+    fn missing_counter_is_not_found() {
+        let reg = Registry::new();
+        assert!(matches!(
+            reg.query("/threads/idle-rate"),
+            Err(RegistryError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn bad_path_is_reported() {
+        let reg = Registry::new();
+        assert!(matches!(
+            reg.query("threads/idle-rate"),
+            Err(RegistryError::BadPath(_))
+        ));
+    }
+
+    #[test]
+    fn discover_with_wildcard() {
+        let reg = Registry::new();
+        for p in [
+            "/threads/count/cumulative",
+            "/threads/count/pending-accesses",
+            "/threads/time/average",
+        ] {
+            reg.register(p, RawView::new(Arc::new(RawCounter::new()), Unit::Count))
+                .unwrap();
+        }
+        let found = reg.discover("/threads/count/*").unwrap();
+        assert_eq!(
+            found,
+            vec![
+                "/threads/count/cumulative".to_owned(),
+                "/threads/count/pending-accesses".to_owned()
+            ]
+        );
+    }
+
+    #[test]
+    fn instanceless_pattern_matches_instances() {
+        let reg = Registry::new();
+        let shard = Arc::new(Sharded::new(2));
+        shard.add(0, 3);
+        shard.add(1, 4);
+        reg.register(
+            "/threads{locality#0/total}/count/cumulative",
+            ShardedTotal::new(Arc::clone(&shard), Unit::Count),
+        )
+        .unwrap();
+        for w in 0..2 {
+            reg.register(
+                &format!("/threads{{locality#0/worker-thread#{w}}}/count/cumulative"),
+                ShardedWorker::new(Arc::clone(&shard), w, Unit::Count),
+            )
+            .unwrap();
+        }
+        let hits = reg.query_all("/threads/count/cumulative").unwrap();
+        assert_eq!(hits.len(), 3);
+        let total = reg
+            .query("/threads{locality#0/total}/count/cumulative")
+            .unwrap();
+        assert_eq!(total.as_count(), 7);
+        let w1 = reg
+            .query("/threads{locality#0/worker-thread#1}/count/cumulative")
+            .unwrap();
+        assert_eq!(w1.as_count(), 4);
+    }
+
+    #[test]
+    fn reset_all_zeroes() {
+        let (reg, c) = reg_with_raw("/threads/count/stolen");
+        c.add(9);
+        reg.reset_all();
+        assert_eq!(reg.query("/threads/count/stolen").unwrap().as_count(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Sample statistics: mean, standard deviation, coefficient of variation.
+//!
+//! §II of the paper: *"we make multiple runs and calculate means and
+//! standard deviation of these counts"*, and §IV reports the coefficient of
+//! variation (COV = stddev / mean) for every sample set. This module
+//! provides a single-pass, numerically-stable (Welford) accumulator used by
+//! the experiment harness for its 10-sample runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SampleStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl SampleStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accumulate all values from an iterator.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = Self::new();
+        for v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, value: f64) {
+        self.n += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &SampleStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean. Zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample (n−1) standard deviation. Zero with fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation (stddev / mean). Zero when the mean is 0.
+    pub fn cov(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev() / m.abs()
+        }
+    }
+
+    /// Smallest sample seen. Zero when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample seen. Zero when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = SampleStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.cov(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // mean 5, sample stddev sqrt(10/4) for {2,4,4,5,5,10}? use a simple
+        // hand-checked set: {2, 4, 6} → mean 4, var (4+0+4)/2 = 4, sd 2.
+        let s = SampleStats::from_iter([2.0, 4.0, 6.0]);
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert!((s.cov() - 0.5).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 6.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let s = SampleStats::from_iter([3.5]);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 20.0).collect();
+        let whole = SampleStats::from_iter(data.iter().copied());
+        let mut a = SampleStats::from_iter(data[..37].iter().copied());
+        let b = SampleStats::from_iter(data[37..].iter().copied());
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = SampleStats::from_iter([1.0, 2.0]);
+        let before = s.clone();
+        s.merge(&SampleStats::new());
+        assert_eq!(s.mean(), before.mean());
+        let mut e = SampleStats::new();
+        e.merge(&before);
+        assert_eq!(e.mean(), before.mean());
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Values with a huge common offset: naive two-pass sum-of-squares
+        // would lose all precision here.
+        let base = 1e12;
+        let s = SampleStats::from_iter([base + 1.0, base + 2.0, base + 3.0]);
+        assert!((s.stddev() - 1.0).abs() < 1e-6);
+    }
+}

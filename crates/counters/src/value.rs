@@ -1,0 +1,133 @@
+//! Typed counter samples.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Unit of a counter value. HPX encodes this implicitly in the counter
+/// name; we carry it explicitly so that derived counters and the metric
+/// layer can check dimensional sanity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// Plain event count.
+    Count,
+    /// Time in nanoseconds.
+    Nanoseconds,
+    /// Dimensionless ratio in `[0, 1]` (e.g. idle-rate).
+    Ratio,
+    /// Bytes.
+    Bytes,
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Unit::Count => "count",
+            Unit::Nanoseconds => "ns",
+            Unit::Ratio => "ratio",
+            Unit::Bytes => "bytes",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One sample of a performance counter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// The sampled value. Counts are exact integers represented in `f64`
+    /// (counts in this project stay far below 2^53); times are nanoseconds;
+    /// ratios are in `[0, 1]`.
+    pub value: f64,
+    /// Unit of `value`.
+    pub unit: Unit,
+    /// Wall-clock sample time, nanoseconds since the Unix epoch. Zero for
+    /// values synthesized outside real time (e.g. by the simulator).
+    pub timestamp_ns: u64,
+}
+
+impl CounterValue {
+    /// A sample taken now.
+    pub fn now(value: f64, unit: Unit) -> Self {
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        Self {
+            value,
+            unit,
+            timestamp_ns: ts,
+        }
+    }
+
+    /// A sample with no wall-clock timestamp (virtual-time producers).
+    pub fn untimed(value: f64, unit: Unit) -> Self {
+        Self {
+            value,
+            unit,
+            timestamp_ns: 0,
+        }
+    }
+
+    /// The value interpreted as an exact count.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the unit is not [`Unit::Count`].
+    pub fn as_count(&self) -> u64 {
+        debug_assert_eq!(self.unit, Unit::Count, "counter is not a count");
+        self.value as u64
+    }
+
+    /// The value interpreted as seconds (from nanoseconds).
+    ///
+    /// # Panics
+    /// Panics in debug builds if the unit is not [`Unit::Nanoseconds`].
+    pub fn as_seconds(&self) -> f64 {
+        debug_assert_eq!(self.unit, Unit::Nanoseconds, "counter is not a time");
+        self.value * 1e-9
+    }
+}
+
+impl fmt::Display for CounterValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.unit {
+            Unit::Count | Unit::Bytes => write!(f, "{} {}", self.value as u64, self.unit),
+            Unit::Nanoseconds => write!(f, "{:.3} us", self.value / 1e3),
+            Unit::Ratio => write!(f, "{:.2}%", self.value * 100.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_has_timestamp() {
+        let v = CounterValue::now(3.0, Unit::Count);
+        assert!(v.timestamp_ns > 0);
+        assert_eq!(v.as_count(), 3);
+    }
+
+    #[test]
+    fn untimed_has_no_timestamp() {
+        let v = CounterValue::untimed(1500.0, Unit::Nanoseconds);
+        assert_eq!(v.timestamp_ns, 0);
+        assert!((v.as_seconds() - 1.5e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            CounterValue::untimed(42.0, Unit::Count).to_string(),
+            "42 count"
+        );
+        assert_eq!(
+            CounterValue::untimed(0.5, Unit::Ratio).to_string(),
+            "50.00%"
+        );
+        assert_eq!(
+            CounterValue::untimed(2500.0, Unit::Nanoseconds).to_string(),
+            "2.500 us"
+        );
+    }
+}

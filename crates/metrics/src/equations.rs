@@ -1,0 +1,101 @@
+//! The paper's metrics, Eqs. 1–6 (§II-A), as pure functions.
+//!
+//! All times are nanoseconds unless the name says seconds. `n_t` is the
+//! number of tasks executed, `n_c` the number of cores (workers).
+
+/// Eq. 1 — idle-rate: `(Σt_func − Σt_exec) / Σt_func`, clamped to [0, 1].
+pub fn idle_rate(sum_exec_ns: u64, sum_func_ns: u64) -> f64 {
+    if sum_func_ns == 0 {
+        return 0.0;
+    }
+    let exec = sum_exec_ns.min(sum_func_ns);
+    (sum_func_ns - exec) as f64 / sum_func_ns as f64
+}
+
+/// Eq. 2 — average task duration `t_d = Σt_exec / n_t`, ns.
+pub fn task_duration_ns(sum_exec_ns: u64, tasks: u64) -> f64 {
+    if tasks == 0 {
+        0.0
+    } else {
+        sum_exec_ns as f64 / tasks as f64
+    }
+}
+
+/// Eq. 3 — average task overhead `t_o = (Σt_func − Σt_exec) / n_t`, ns.
+pub fn task_overhead_ns(sum_exec_ns: u64, sum_func_ns: u64, tasks: u64) -> f64 {
+    if tasks == 0 {
+        return 0.0;
+    }
+    let exec = sum_exec_ns.min(sum_func_ns);
+    (sum_func_ns - exec) as f64 / tasks as f64
+}
+
+/// Eq. 4 — HPX-thread management overhead per core,
+/// `T_o = t_o · n_t / n_c`, in seconds (comparable to execution time).
+pub fn thread_management_s(task_overhead_ns: f64, tasks: u64, cores: usize) -> f64 {
+    if cores == 0 {
+        return 0.0;
+    }
+    task_overhead_ns * tasks as f64 / cores as f64 * 1e-9
+}
+
+/// Eq. 5 — wait time per task `t_w = t_d − t_d1`, ns. May be negative
+/// (§II-A: caching effects can make the one-core duration larger).
+pub fn wait_per_task_ns(td_ns: f64, td1_ns: f64) -> f64 {
+    td_ns - td1_ns
+}
+
+/// Eq. 6 — wait time per core `T_w = (t_d − t_d1) · n_t / n_c`, seconds.
+pub fn wait_time_s(td_ns: f64, td1_ns: f64, tasks: u64, cores: usize) -> f64 {
+    if cores == 0 {
+        return 0.0;
+    }
+    (td_ns - td1_ns) * tasks as f64 / cores as f64 * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_idle_rate() {
+        assert_eq!(idle_rate(600, 1000), 0.4);
+        assert_eq!(idle_rate(0, 0), 0.0);
+        assert_eq!(idle_rate(100, 100), 0.0);
+        // Skew clamps rather than going negative.
+        assert_eq!(idle_rate(150, 100), 0.0);
+    }
+
+    #[test]
+    fn eq2_task_duration() {
+        assert_eq!(task_duration_ns(1000, 4), 250.0);
+        assert_eq!(task_duration_ns(1000, 0), 0.0);
+    }
+
+    #[test]
+    fn eq3_task_overhead() {
+        assert_eq!(task_overhead_ns(600, 1000, 4), 100.0);
+        assert_eq!(task_overhead_ns(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn eq4_scales_by_tasks_over_cores() {
+        // 1 µs overhead × 1e6 tasks / 4 cores = 0.25 s.
+        assert!((thread_management_s(1_000.0, 1_000_000, 4) - 0.25).abs() < 1e-12);
+        assert_eq!(thread_management_s(1.0, 1, 0), 0.0);
+    }
+
+    #[test]
+    fn eq5_can_be_negative() {
+        assert_eq!(wait_per_task_ns(80.0, 100.0), -20.0);
+        assert_eq!(wait_per_task_ns(100.0, 80.0), 20.0);
+    }
+
+    #[test]
+    fn eq6_matches_eq5_scaled() {
+        let tw = wait_time_s(2_000.0, 1_000.0, 1_000_000, 8);
+        assert!((tw - 0.125).abs() < 1e-12);
+        let neg = wait_time_s(500.0, 1_000.0, 1_000_000, 8);
+        assert!(neg < 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Plain-text table and CSV rendering for the experiment harness.
+//!
+//! The bench binaries print every figure as an aligned table (one row per
+//! x-axis point, one column per series) plus a machine-readable CSV block,
+//! so results can be eyeballed and re-plotted.
+
+use std::fmt::Write as _;
+
+/// Render an aligned monospace table.
+///
+/// ```
+/// let s = grain_metrics::table::render(
+///     "demo",
+///     &["x", "y"],
+///     &[vec!["1".into(), "2".into()], vec!["10".into(), "20".into()]],
+/// );
+/// assert!(s.contains("demo"));
+/// assert!(s.contains("10"));
+/// ```
+pub fn render(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch in table `{title}`");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+
+    let mut out = String::new();
+    let total: usize = widths.iter().sum::<usize>() + 3 * cols + 1;
+    let _ = writeln!(out, "{}", "=".repeat(total.max(title.len())));
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "-".repeat(total.max(title.len())));
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "| {h:>w$} ");
+    }
+    line.push('|');
+    let _ = writeln!(out, "{line}");
+    let _ = writeln!(out, "{}", "-".repeat(total.max(title.len())));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "| {cell:>w$} ");
+        }
+        line.push('|');
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "{}", "=".repeat(total.max(title.len())));
+    out
+}
+
+/// Render rows as CSV (RFC-4180-ish; quotes cells containing commas or
+/// quotes).
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let esc = |s: &str| -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_owned()
+        }
+    };
+    let _ = writeln!(
+        out,
+        "{}",
+        headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{}",
+            row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+    }
+    out
+}
+
+/// Human formatting helpers shared by the bench binaries.
+pub mod fmt {
+    /// Seconds with 3 decimals.
+    pub fn s(v: f64) -> String {
+        format!("{v:.3}")
+    }
+
+    /// Nanoseconds as an adaptive µs/ms string.
+    pub fn ns(v: f64) -> String {
+        if v.abs() >= 1e6 {
+            format!("{:.2}ms", v / 1e6)
+        } else if v.abs() >= 1e3 {
+            format!("{:.1}us", v / 1e3)
+        } else {
+            format!("{v:.0}ns")
+        }
+    }
+
+    /// Ratio as a percentage.
+    pub fn pct(v: f64) -> String {
+        format!("{:.1}%", v * 100.0)
+    }
+
+    /// A count with thousands separators.
+    pub fn count(v: f64) -> String {
+        let n = v.round() as i128;
+        let raw = n.abs().to_string();
+        let mut s = String::new();
+        for (i, c) in raw.chars().enumerate() {
+            if i > 0 && (raw.len() - i).is_multiple_of(3) {
+                s.push(',');
+            }
+            s.push(c);
+        }
+        if n < 0 {
+            format!("-{s}")
+        } else {
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render(
+            "t",
+            &["a", "bbbb"],
+            &[vec!["100".into(), "2".into()], vec!["1".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        // Every data/header line has the same length.
+        let data: Vec<&&str> = lines.iter().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(data.len(), 3);
+        assert!(data.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        render("t", &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_escapes_specials() {
+        let c = csv(
+            &["a", "b"],
+            &[vec!["x,y".into(), "q\"t".into()], vec!["1".into(), "2".into()]],
+        );
+        assert_eq!(c.lines().next().unwrap(), "a,b");
+        assert!(c.contains("\"x,y\""));
+        assert!(c.contains("\"q\"\"t\""));
+        assert!(c.contains("1,2"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt::s(1.23456), "1.235");
+        assert_eq!(fmt::ns(532.0), "532ns");
+        assert_eq!(fmt::ns(21_500.0), "21.5us");
+        assert_eq!(fmt::ns(2_500_000.0), "2.50ms");
+        assert_eq!(fmt::pct(0.905), "90.5%");
+        assert_eq!(fmt::count(1_234_567.0), "1,234,567");
+        assert_eq!(fmt::count(-1000.0), "-1,000");
+        assert_eq!(fmt::count(999.0), "999");
+    }
+}

@@ -1,0 +1,336 @@
+//! Lightweight shared futures and promises.
+//!
+//! HPX expresses task dependencies with `hpx::future` / `hpx::async` and
+//! composes them "sequentially and in parallel" into a dependency tree
+//! (§I-C). These futures are *not* Rust `std::future`s — HPX-threads are
+//! cooperative user-level threads, not poll-based async — so we implement
+//! the HPX shape directly:
+//!
+//! * [`Promise`] — single producer; [`Promise::set`] publishes a value.
+//! * [`SharedFuture`] — many consumers; readable any number of times
+//!   (values are `Arc`-shared), attachable continuations, blocking `get`
+//!   for external (non-worker) threads.
+//! * [`when_all`] — N-ary conjunction, the edge/intermediate nodes of the
+//!   dependency graph in the paper's Fig. 2.
+//!
+//! Continuations run inline on the thread that fulfills the promise,
+//! which on a worker means "as part of the completing task's phase" —
+//! the same attribution HPX uses for cheap continuations.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Callback attached to a future.
+type Continuation<T> = Box<dyn FnOnce(&Arc<T>) + Send>;
+
+enum State<T> {
+    Empty(Vec<Continuation<T>>),
+    Ready(Arc<T>),
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+/// The write end of a future. Dropping a promise without setting it leaves
+/// the future forever empty (consumers relying on `get` would block; the
+/// runtime's dataflow layer never drops promises unfulfilled).
+pub struct Promise<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The read end: shareable, clonable, multi-consumer.
+pub struct SharedFuture<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for SharedFuture<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// Create a connected promise/future pair.
+pub fn channel<T>() -> (Promise<T>, SharedFuture<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State::Empty(Vec::new())),
+        ready: Condvar::new(),
+    });
+    (
+        Promise {
+            shared: Arc::clone(&shared),
+        },
+        SharedFuture { shared },
+    )
+}
+
+impl<T> Promise<T> {
+    /// Publish the value, waking blocked `get`s and running all attached
+    /// continuations inline on this thread.
+    ///
+    /// # Panics
+    /// Panics if the promise was already fulfilled.
+    pub fn set(self, value: T) {
+        let value = Arc::new(value);
+        let continuations = {
+            let mut st = self.shared.state.lock();
+            match std::mem::replace(&mut *st, State::Ready(Arc::clone(&value))) {
+                State::Empty(conts) => conts,
+                State::Ready(_) => panic!("promise fulfilled twice"),
+            }
+        };
+        self.shared.ready.notify_all();
+        for c in continuations {
+            c(&value);
+        }
+    }
+}
+
+impl<T> SharedFuture<T> {
+    /// A future that is already fulfilled ("make_ready_future").
+    pub fn ready(value: T) -> Self {
+        let (p, f) = channel();
+        p.set(value);
+        f
+    }
+
+    /// The value, if already available.
+    pub fn try_get(&self) -> Option<Arc<T>> {
+        match &*self.shared.state.lock() {
+            State::Ready(v) => Some(Arc::clone(v)),
+            State::Empty(_) => None,
+        }
+    }
+
+    /// True once the value is available.
+    pub fn is_ready(&self) -> bool {
+        self.try_get().is_some()
+    }
+
+    /// Block the calling thread until the value is available.
+    ///
+    /// Intended for *external* threads (e.g. `main` collecting a result).
+    /// A worker thread must never block here — it would stall its queue;
+    /// tasks wait by suspension instead
+    /// ([`crate::runtime::TaskContext::suspend_until`]).
+    pub fn get(&self) -> Arc<T> {
+        let mut st = self.shared.state.lock();
+        loop {
+            match &*st {
+                State::Ready(v) => return Arc::clone(v),
+                State::Empty(_) => self.shared.ready.wait(&mut st),
+            }
+        }
+    }
+
+    /// Attach a continuation: runs immediately (inline) if the value is
+    /// already available, otherwise at `set` time on the fulfilling
+    /// thread.
+    pub fn on_ready(&self, f: impl FnOnce(&Arc<T>) + Send + 'static) {
+        let mut f = Some(f);
+        let run_now = {
+            let mut st = self.shared.state.lock();
+            match &mut *st {
+                State::Ready(v) => Some(Arc::clone(v)),
+                State::Empty(conts) => {
+                    let f = f.take().unwrap();
+                    conts.push(Box::new(f));
+                    None
+                }
+            }
+        };
+        if let Some(v) = run_now {
+            (f.take().unwrap())(&v);
+        }
+    }
+}
+
+/// A future for the conjunction of `futures`: ready when all inputs are,
+/// carrying the input values in order.
+///
+/// This is the paper's dependency-graph "intermediate node": HPX-Stencil
+/// combines the three neighbouring partitions of the previous time step
+/// with `when_all` before launching the update task.
+pub fn when_all<T: Send + Sync + 'static>(
+    futures: &[SharedFuture<T>],
+) -> SharedFuture<Vec<Arc<T>>> {
+    let n = futures.len();
+    let (promise, out) = channel();
+    if n == 0 {
+        promise.set(Vec::new());
+        return out;
+    }
+
+    type GatherState<T> = (Vec<Option<Arc<T>>>, usize, Option<Promise<Vec<Arc<T>>>>);
+    struct Gather<T> {
+        slots: Mutex<GatherState<T>>,
+    }
+    let gather = Arc::new(Gather {
+        slots: Mutex::new((vec![None; n], 0, Some(promise))),
+    });
+
+    for (i, fut) in futures.iter().enumerate() {
+        let gather = Arc::clone(&gather);
+        fut.on_ready(move |v| {
+            let finished = {
+                let mut g = gather.slots.lock();
+                debug_assert!(g.0[i].is_none(), "when_all slot filled twice");
+                g.0[i] = Some(Arc::clone(v));
+                g.1 += 1;
+                if g.1 == n {
+                    let values = g.0.iter_mut().map(|s| s.take().unwrap()).collect();
+                    Some((g.2.take().unwrap(), values))
+                } else {
+                    None
+                }
+            };
+            if let Some((promise, values)) = finished {
+                promise.set(values);
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn set_then_get() {
+        let (p, f) = channel();
+        p.set(42);
+        assert_eq!(*f.get(), 42);
+        assert_eq!(*f.try_get().unwrap(), 42);
+        assert!(f.is_ready());
+    }
+
+    #[test]
+    fn try_get_before_set_is_none() {
+        let (_p, f) = channel::<i32>();
+        assert!(f.try_get().is_none());
+        assert!(!f.is_ready());
+    }
+
+    #[test]
+    fn ready_constructor() {
+        let f = SharedFuture::ready("hi");
+        assert_eq!(*f.get(), "hi");
+    }
+
+    #[test]
+    #[should_panic(expected = "fulfilled twice")]
+    fn double_set_panics() {
+        let (p, f) = channel();
+        p.set(1);
+        // A second promise to the same shared state can't be constructed
+        // through the public API; simulate the error via a cloned future
+        // feeding a second channel — instead check the direct panic by
+        // reconstructing a Promise. Easiest legal repro: set through two
+        // promises is impossible, so emulate by calling set twice via
+        // unsafe clone — not possible either. Instead: on_ready + set is
+        // fine; this test exercises the panic with a hand-made promise.
+        let p2 = Promise {
+            shared: Arc::clone(&f.shared),
+        };
+        p2.set(2);
+    }
+
+    #[test]
+    fn continuation_runs_on_set() {
+        let (p, f) = channel();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        f.on_ready(move |v| {
+            assert_eq!(**v, 9);
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        p.set(9);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn continuation_runs_immediately_if_ready() {
+        let f = SharedFuture::ready(1);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        f.on_ready(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn multiple_consumers_share_value() {
+        let (p, f) = channel();
+        let f2 = f.clone();
+        let f3 = f.clone();
+        p.set(vec![1, 2, 3]);
+        assert_eq!(*f.get(), vec![1, 2, 3]);
+        assert!(Arc::ptr_eq(&f2.get(), &f3.get()));
+    }
+
+    #[test]
+    fn get_blocks_until_set() {
+        let (p, f) = channel();
+        let t = std::thread::spawn(move || *f.get());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        p.set(7u32);
+        assert_eq!(t.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn when_all_empty_is_immediately_ready() {
+        let out = when_all::<i32>(&[]);
+        assert!(out.is_ready());
+        assert!(out.get().is_empty());
+    }
+
+    #[test]
+    fn when_all_collects_in_order() {
+        let (p1, f1) = channel();
+        let (p2, f2) = channel();
+        let (p3, f3) = channel();
+        let out = when_all(&[f1, f2, f3]);
+        p2.set(20);
+        assert!(!out.is_ready());
+        p3.set(30);
+        p1.set(10);
+        let v = out.get();
+        let vals: Vec<i32> = v.iter().map(|a| **a).collect();
+        assert_eq!(vals, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn when_all_with_already_ready_inputs() {
+        let f1 = SharedFuture::ready(1);
+        let (p2, f2) = channel();
+        let out = when_all(&[f1, f2]);
+        assert!(!out.is_ready());
+        p2.set(2);
+        let vals: Vec<i32> = out.get().iter().map(|a| **a).collect();
+        assert_eq!(vals, vec![1, 2]);
+    }
+
+    #[test]
+    fn when_all_concurrent_setters() {
+        let pairs: Vec<_> = (0..32).map(|_| channel::<usize>()).collect();
+        let futures: Vec<_> = pairs.iter().map(|(_, f)| f.clone()).collect();
+        let out = when_all(&futures);
+        let handles: Vec<_> = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (p, _))| std::thread::spawn(move || p.set(i)))
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let vals: Vec<usize> = out.get().iter().map(|a| **a).collect();
+        assert_eq!(vals, (0..32).collect::<Vec<_>>());
+    }
+}

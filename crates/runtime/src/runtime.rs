@@ -1,0 +1,555 @@
+//! The runtime: worker pool, spawn paths, task context, termination.
+
+use grain_counters::threads::ThreadCounters;
+use crate::future::{channel, when_all, SharedFuture};
+use crate::scheduler::{Scheduler, SchedulerKind};
+use crate::task::{Poll, Priority, StagedTask, Task, TaskId, TaskIdAllocator, TaskState};
+use grain_counters::Registry;
+use grain_topology::{host, NumaTopology};
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runtime configuration. Start from [`RuntimeConfig::default`] (all host
+/// cores, the paper's Priority Local-FIFO policy) and override fields.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of worker OS threads ("one static OS thread per core" by
+    /// default; oversubscription is allowed and functionally sound).
+    pub workers: usize,
+    /// NUMA domains to split the workers into. `None` detects the host.
+    pub numa_domains: Option<usize>,
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Number of high-priority dual queues (§I-B: "a specified number of
+    /// high priority dual queues").
+    pub high_queues: usize,
+    /// Failed full search rounds before a worker parks.
+    pub spin_rounds: u32,
+    /// Upper bound on one parking nap (re-checks for work after).
+    pub park_timeout: Duration,
+    /// Record per-worker task-event timelines (see [`crate::trace`]).
+    /// Off by default: tracing costs one buffer append per phase.
+    pub trace: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: host::available_cores(),
+            numa_domains: None,
+            scheduler: SchedulerKind::PriorityLocalFifo,
+            high_queues: 1,
+            spin_rounds: 8,
+            park_timeout: Duration::from_micros(200),
+            trace: false,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Config with an explicit worker count and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
+struct Parker {
+    lock: Mutex<()>,
+    cv: Condvar,
+    sleepers: AtomicUsize,
+}
+
+struct IdleGate {
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// Shared state of a runtime: queues, counters, lifecycle flags.
+pub(crate) struct Inner {
+    pub(crate) scheduler: Scheduler,
+    pub(crate) counters: ThreadCounters,
+    pub(crate) registry: Registry,
+    pub(crate) ids: TaskIdAllocator,
+    pub(crate) in_flight: AtomicUsize,
+    pub(crate) shutdown: AtomicBool,
+    /// Workers with index ≥ this limit are throttled (parked without
+    /// taking work) — the Porterfield-style thread-throttling actuator
+    /// the paper's §V/§VI discuss driving with these counters.
+    pub(crate) active_limit: AtomicUsize,
+    pub(crate) tracer: crate::trace::Tracer,
+    pub(crate) config: RuntimeConfig,
+    parker: Parker,
+    idle: IdleGate,
+}
+
+thread_local! {
+    /// (address of the runtime's Inner, worker index) when the current
+    /// thread is a worker.
+    static CURRENT_WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+impl Inner {
+    fn addr(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    /// Worker index if the calling thread is one of this runtime's workers.
+    pub(crate) fn current_worker(self: &Arc<Self>) -> Option<usize> {
+        CURRENT_WORKER.with(|c| match c.get() {
+            Some((addr, w)) if addr == self.addr() => Some(w),
+            _ => None,
+        })
+    }
+
+    pub(crate) fn bind_worker(self: &Arc<Self>, w: usize) {
+        let addr = self.addr();
+        CURRENT_WORKER.with(|c| c.set(Some((addr, w))));
+    }
+
+    pub(crate) fn unbind_worker(&self) {
+        CURRENT_WORKER.with(|c| c.set(None));
+    }
+
+    /// Core spawn path: route a staged task to its queue and wake a
+    /// sleeper.
+    pub(crate) fn spawn_staged(self: &Arc<Self>, staged: StagedTask) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let here = self.current_worker();
+        let w = here.unwrap_or_else(|| self.scheduler.queues.next_rr());
+        self.counters.spawned.incr(w);
+        match staged.priority {
+            Priority::High => self.scheduler.queues.push_high(staged),
+            Priority::Normal => self.scheduler.queues.push_staged(w, staged),
+            Priority::Low => self.scheduler.queues.push_low(staged),
+        }
+        self.wake();
+    }
+
+    /// Spawn a one-phase closure with a priority; returns the task id.
+    pub(crate) fn spawn_once(
+        self: &Arc<Self>,
+        priority: Priority,
+        f: impl FnOnce(&mut TaskContext<'_>) + Send + 'static,
+    ) -> TaskId {
+        let id = self.ids.allocate();
+        self.spawn_staged(StagedTask::once(id, priority, f));
+        id
+    }
+
+    /// Spawn a multi-phase body.
+    pub(crate) fn spawn_phased(
+        self: &Arc<Self>,
+        priority: Priority,
+        body: impl FnMut(&mut TaskContext<'_>) -> Poll + Send + 'static,
+    ) -> TaskId {
+        let id = self.ids.allocate();
+        self.spawn_staged(StagedTask::phased(id, priority, body));
+        id
+    }
+
+    /// `hpx::async`: run `f` as a task, return a future for its result.
+    pub(crate) fn async_call<R: Send + Sync + 'static>(
+        self: &Arc<Self>,
+        priority: Priority,
+        f: impl FnOnce(&mut TaskContext<'_>) -> R + Send + 'static,
+    ) -> SharedFuture<R> {
+        let (promise, future) = channel();
+        self.spawn_once(priority, move |ctx| promise.set(f(ctx)));
+        future
+    }
+
+    /// `hpx::dataflow`: when every dependency is ready, spawn a task that
+    /// consumes their values; return the future of its result. The task is
+    /// *not created* until the inputs are ready — dependencies hold only a
+    /// lightweight continuation, matching HPX's staging economy.
+    pub(crate) fn dataflow<T, R>(
+        self: &Arc<Self>,
+        priority: Priority,
+        deps: &[SharedFuture<T>],
+        f: impl FnOnce(&mut TaskContext<'_>, Vec<Arc<T>>) -> R + Send + 'static,
+    ) -> SharedFuture<R>
+    where
+        T: Send + Sync + 'static,
+        R: Send + Sync + 'static,
+    {
+        let (promise, future) = channel();
+        let inner = Arc::clone(self);
+        when_all(deps).on_ready(move |vals| {
+            let vals: Vec<Arc<T>> = vals.iter().map(Arc::clone).collect();
+            inner.spawn_once(priority, move |ctx| promise.set(f(ctx, vals)));
+        });
+        future
+    }
+
+    /// Called when a task reaches `Terminated`.
+    pub(crate) fn task_done(&self) {
+        if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = self.idle.lock.lock();
+            self.idle.cv.notify_all();
+        }
+    }
+
+    /// Resume a previously suspended task.
+    pub(crate) fn resume(self: &Arc<Self>, mut task: Task) {
+        task.transition(TaskState::Pending);
+        let w = self
+            .current_worker()
+            .unwrap_or_else(|| self.scheduler.queues.next_rr());
+        self.scheduler.queues.push_pending(w, task);
+        self.wake();
+    }
+
+    /// Wake sleeping workers if any.
+    pub(crate) fn wake(&self) {
+        if self.parker.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.parker.lock.lock();
+            self.parker.cv.notify_all();
+        }
+    }
+
+    /// Park the calling worker until woken or timed out. Returns quickly
+    /// if work appeared or shutdown began in the meantime.
+    pub(crate) fn park(&self) {
+        self.parker.sleepers.fetch_add(1, Ordering::SeqCst);
+        // Re-check after announcing sleep to close the lost-wakeup window.
+        if self.scheduler.queues.total_len() > 0 || self.shutdown.load(Ordering::SeqCst) {
+            self.parker.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let mut g = self.parker.lock.lock();
+        self.parker
+            .cv
+            .wait_for(&mut g, self.config.park_timeout);
+        drop(g);
+        self.parker.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Block until no task is in flight (staged, pending, active or
+    /// suspended).
+    pub(crate) fn wait_idle(&self) {
+        let mut g = self.idle.lock.lock();
+        while self.in_flight.load(Ordering::SeqCst) != 0 {
+            self.idle
+                .cv
+                .wait_for(&mut g, Duration::from_millis(1));
+        }
+    }
+}
+
+/// Handle passed to every task phase: identifies the task and worker, and
+/// exposes the spawn/dataflow API so tasks can create more work (the
+/// execution tree of §I-C is "generated at runtime").
+pub struct TaskContext<'a> {
+    pub(crate) inner: &'a Arc<Inner>,
+    /// Index of the worker executing this phase.
+    pub worker: usize,
+    /// Id of the running task.
+    pub task_id: TaskId,
+    /// Zero-based phase number of this activation.
+    pub phase: u64,
+    pub(crate) suspend_registration: Option<Box<dyn FnOnce(Resumer) + Send>>,
+}
+
+impl TaskContext<'_> {
+    /// Spawn a one-phase child task at normal priority.
+    pub fn spawn(&self, f: impl FnOnce(&mut TaskContext<'_>) + Send + 'static) -> TaskId {
+        self.inner.spawn_once(Priority::Normal, f)
+    }
+
+    /// Spawn a one-phase child task with an explicit priority.
+    pub fn spawn_with(
+        &self,
+        priority: Priority,
+        f: impl FnOnce(&mut TaskContext<'_>) + Send + 'static,
+    ) -> TaskId {
+        self.inner.spawn_once(priority, f)
+    }
+
+    /// `hpx::async` from inside a task.
+    pub fn async_call<R: Send + Sync + 'static>(
+        &self,
+        f: impl FnOnce(&mut TaskContext<'_>) -> R + Send + 'static,
+    ) -> SharedFuture<R> {
+        self.inner.async_call(Priority::Normal, f)
+    }
+
+    /// `hpx::dataflow` from inside a task.
+    pub fn dataflow<T, R>(
+        &self,
+        deps: &[SharedFuture<T>],
+        f: impl FnOnce(&mut TaskContext<'_>, Vec<Arc<T>>) -> R + Send + 'static,
+    ) -> SharedFuture<R>
+    where
+        T: Send + Sync + 'static,
+        R: Send + Sync + 'static,
+    {
+        self.inner.dataflow(Priority::Normal, deps, f)
+    }
+
+    /// Arrange for this task to be resumed when `future` becomes ready,
+    /// then return [`Poll::Suspend`] from the body. The task enters the
+    /// *suspended* state and its next activation is a new thread phase.
+    ///
+    /// ```ignore
+    /// move |ctx| {
+    ///     if !input.is_ready() {
+    ///         ctx.suspend_until(&input);
+    ///         return Poll::Suspend;
+    ///     }
+    ///     consume(&input.try_get().unwrap());
+    ///     Poll::Complete
+    /// }
+    /// ```
+    pub fn suspend_until<T: Send + Sync + 'static>(&mut self, future: &SharedFuture<T>) {
+        let future = future.clone();
+        self.suspend_registration = Some(Box::new(move |resumer: Resumer| {
+            future.on_ready(move |_| resumer.resume());
+        }));
+    }
+
+    /// Number of workers in this runtime.
+    pub fn num_workers(&self) -> usize {
+        self.inner.counters.workers()
+    }
+}
+
+/// Token that re-enqueues a suspended task when invoked. Created by the
+/// worker when a body returns [`Poll::Suspend`]; consumed by the future's
+/// continuation.
+pub struct Resumer {
+    pub(crate) inner: Arc<Inner>,
+    pub(crate) task: Option<Task>,
+}
+
+impl Resumer {
+    /// Put the suspended task back into a pending queue.
+    pub fn resume(mut self) {
+        let task = self.task.take().expect("resumer consumed twice");
+        self.inner.resume(task);
+    }
+}
+
+impl Drop for Resumer {
+    fn drop(&mut self) {
+        // A dropped resumer would strand its task forever; surface that
+        // loudly in debug builds (release: the task leaks, in_flight never
+        // reaches zero and wait_idle hangs — still detectable).
+        debug_assert!(
+            self.task.is_none(),
+            "Resumer dropped without resuming its task"
+        );
+    }
+}
+
+/// The task runtime: an M:N cooperative scheduler in the mould of HPX's
+/// thread manager, with first-class performance counters.
+///
+/// ```
+/// use grain_runtime::{Runtime, RuntimeConfig};
+///
+/// let rt = Runtime::new(RuntimeConfig::with_workers(2));
+/// let doubled = rt.async_call(|_ctx| 21 * 2);
+/// assert_eq!(*doubled.get(), 42);
+/// rt.wait_idle();
+/// assert!(rt.counters().tasks.sum() >= 1);
+/// ```
+pub struct Runtime {
+    inner: Arc<Inner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Start a runtime with the given configuration. Worker threads are
+    /// created immediately (HPX: static OS threads at startup).
+    pub fn new(config: RuntimeConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        let numa = match config.numa_domains {
+            Some(d) => NumaTopology::block(config.workers, d),
+            None => host::host_topology(config.workers),
+        };
+        let scheduler = Scheduler::new(numa, config.scheduler, config.high_queues);
+        let counters = ThreadCounters::new(config.workers);
+        let registry = Registry::new();
+        counters
+            .register(&registry)
+            .expect("fresh registry cannot have duplicates");
+        // Instantaneous queue-length counters (not in the paper's list but
+        // part of HPX's monitoring surface; useful for load introspection).
+        {
+            use grain_counters::{derived::DerivedCounter, Unit};
+            let q = std::sync::Arc::clone(&scheduler.queues);
+            registry
+                .register(
+                    "/threads{locality#0/total}/count/staged-queue-length",
+                    DerivedCounter::new(Unit::Count, move || {
+                        q.workers.iter().map(|d| d.staged.len()).sum::<usize>() as f64
+                    }),
+                )
+                .expect("fresh registry");
+            let q = std::sync::Arc::clone(&scheduler.queues);
+            registry
+                .register(
+                    "/threads{locality#0/total}/count/pending-queue-length",
+                    DerivedCounter::new(Unit::Count, move || {
+                        q.workers.iter().map(|d| d.pending.len()).sum::<usize>() as f64
+                    }),
+                )
+                .expect("fresh registry");
+        }
+        let inner = Arc::new(Inner {
+            scheduler,
+            counters,
+            registry,
+            ids: TaskIdAllocator::new(),
+            in_flight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            active_limit: AtomicUsize::new(config.workers),
+            tracer: crate::trace::Tracer::new(config.workers, config.trace),
+            config: config.clone(),
+            parker: Parker {
+                lock: Mutex::new(()),
+                cv: Condvar::new(),
+                sleepers: AtomicUsize::new(0),
+            },
+            idle: IdleGate {
+                lock: Mutex::new(()),
+                cv: Condvar::new(),
+            },
+        });
+        let threads = (0..config.workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("grain-worker-{w}"))
+                    .spawn(move || crate::worker::worker_loop(inner, w))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self { inner, threads }
+    }
+
+    /// Runtime with `workers` workers and default settings.
+    pub fn with_workers(workers: usize) -> Self {
+        Self::new(RuntimeConfig::with_workers(workers))
+    }
+
+    /// Spawn a one-phase task at normal priority.
+    pub fn spawn(&self, f: impl FnOnce(&mut TaskContext<'_>) + Send + 'static) -> TaskId {
+        self.inner.spawn_once(Priority::Normal, f)
+    }
+
+    /// Spawn a one-phase task with an explicit priority.
+    pub fn spawn_with(
+        &self,
+        priority: Priority,
+        f: impl FnOnce(&mut TaskContext<'_>) + Send + 'static,
+    ) -> TaskId {
+        self.inner.spawn_once(priority, f)
+    }
+
+    /// Spawn a multi-phase task (may yield and suspend between phases).
+    pub fn spawn_phased(
+        &self,
+        priority: Priority,
+        body: impl FnMut(&mut TaskContext<'_>) -> Poll + Send + 'static,
+    ) -> TaskId {
+        self.inner.spawn_phased(priority, body)
+    }
+
+    /// `hpx::async`: run `f` as a task; get a future for its result.
+    pub fn async_call<R: Send + Sync + 'static>(
+        &self,
+        f: impl FnOnce(&mut TaskContext<'_>) -> R + Send + 'static,
+    ) -> SharedFuture<R> {
+        self.inner.async_call(Priority::Normal, f)
+    }
+
+    /// `hpx::dataflow`: spawn `f` when all `deps` are ready.
+    pub fn dataflow<T, R>(
+        &self,
+        deps: &[SharedFuture<T>],
+        f: impl FnOnce(&mut TaskContext<'_>, Vec<Arc<T>>) -> R + Send + 'static,
+    ) -> SharedFuture<R>
+    where
+        T: Send + Sync + 'static,
+        R: Send + Sync + 'static,
+    {
+        self.inner.dataflow(Priority::Normal, deps, f)
+    }
+
+    /// Block until every spawned task has terminated.
+    pub fn wait_idle(&self) {
+        self.inner.wait_idle();
+    }
+
+    /// The runtime's raw counters.
+    pub fn counters(&self) -> &ThreadCounters {
+        &self.inner.counters
+    }
+
+    /// The performance-counter registry (query by symbolic path).
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.inner.counters.workers()
+    }
+
+    /// Tasks currently in flight (staged + pending + active + suspended).
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Reset all counters (start of a measurement epoch).
+    pub fn reset_counters(&self) {
+        self.inner.registry.reset_all();
+    }
+
+    /// Throttle the pool: only workers `0..n` take work; the rest park
+    /// until the limit is raised again. Clamped to `1..=num_workers()`.
+    /// Queued work on throttled workers' queues remains stealable (do not
+    /// combine throttling with [`SchedulerKind::NoSteal`] unless stranded
+    /// queues are acceptable).
+    ///
+    /// This is the actuator the paper's related work (§V, Porterfield et
+    /// al.) exposes; combined with the counters it enables core-count
+    /// adaptation alongside grain-size adaptation.
+    pub fn set_active_workers(&self, n: usize) {
+        let n = n.clamp(1, self.num_workers());
+        self.inner.active_limit.store(n, Ordering::SeqCst);
+        self.inner.wake();
+    }
+
+    /// Current throttle limit (= `num_workers()` when unthrottled).
+    pub fn active_workers(&self) -> usize {
+        self.inner.active_limit.load(Ordering::SeqCst)
+    }
+
+    /// Drain the captured task-event timeline (empty unless
+    /// [`RuntimeConfig::trace`] was set). Draining is destructive; call
+    /// once per measurement window.
+    pub fn take_trace(&self) -> crate::trace::Trace {
+        self.inner.tracer.take()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Let in-flight work finish, then stop the workers.
+        self.inner.wait_idle();
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Wake everyone repeatedly until all workers observed the flag.
+        for t in self.threads.drain(..) {
+            self.inner.wake();
+            let _ = t.join();
+        }
+    }
+}

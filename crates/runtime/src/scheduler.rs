@@ -1,0 +1,516 @@
+//! The Priority Local-FIFO scheduler.
+//!
+//! Direct implementation of §I-B and Fig. 1 of the paper:
+//!
+//! * every worker owns a *dual queue* — one staged, one pending — both
+//!   lock-free FIFOs;
+//! * a configurable number of *high-priority* dual queues run before any
+//!   normal work;
+//! * one *low-priority* queue runs only when everything else is empty;
+//! * work search order (Fig. 1):
+//!   1. local pending queue
+//!   2. local staged queue (convert → run)
+//!   3. staged queues of other workers in the local NUMA domain
+//!   4. pending queues of other workers in the local NUMA domain
+//!   5. staged queues in remote NUMA domains
+//!   6. pending queues in remote NUMA domains
+//!
+//! Every probe bumps the access counter of the probed queue family and the
+//! miss counter when it comes back empty — those are the
+//! `/threads/count/pending-accesses`/`-misses` counters of §II-A, shown in
+//! Figs. 9 and 10 to be a timestamp-free granularity signal.
+
+use grain_counters::threads::ThreadCounters;
+use crate::task::{StagedTask, Task};
+use crossbeam::queue::SegQueue;
+use grain_topology::NumaTopology;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Scheduling policy variants. The paper measures Priority Local-FIFO;
+/// the other two exist for the ablation study (DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The paper's policy: NUMA-aware six-step search (Fig. 1).
+    #[default]
+    PriorityLocalFifo,
+    /// No stealing: a worker only ever runs what lands in its own queues
+    /// (plus the shared high/low-priority queues).
+    NoSteal,
+    /// Stealing ignores NUMA domains: steps 3+5 and 4+6 collapse into
+    /// flat staged-then-pending sweeps over all workers.
+    NumaBlind,
+}
+
+/// One worker's dual queue.
+#[derive(Debug, Default)]
+pub struct DualQueue {
+    /// Staged task descriptions (cheap, not yet converted).
+    pub staged: SegQueue<StagedTask>,
+    /// Converted, runnable tasks.
+    pub pending: SegQueue<Task>,
+}
+
+impl DualQueue {
+    fn new() -> Self {
+        Self {
+            staged: SegQueue::new(),
+            pending: SegQueue::new(),
+        }
+    }
+
+    /// Tasks currently queued (racy, for load introspection).
+    pub fn len(&self) -> usize {
+        self.staged.len() + self.pending.len()
+    }
+
+    /// True when both queues are (momentarily) empty.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty() && self.pending.is_empty()
+    }
+}
+
+/// The complete queue system of a runtime.
+#[derive(Debug)]
+pub struct QueueSet {
+    /// One dual queue per worker.
+    pub workers: Vec<DualQueue>,
+    /// High-priority dual queues (shared; probed before everything).
+    pub high: Vec<DualQueue>,
+    /// The single low-priority queue.
+    pub low: SegQueue<StagedTask>,
+    /// Round-robin cursor for spawns from external threads.
+    rr: AtomicUsize,
+    /// Round-robin cursor for high-priority spawns.
+    rr_high: AtomicUsize,
+}
+
+impl QueueSet {
+    /// Build queues for `workers` workers and `high_queues` high-priority
+    /// dual queues (≥ 1).
+    pub fn new(workers: usize, high_queues: usize) -> Self {
+        assert!(workers > 0);
+        Self {
+            workers: (0..workers).map(|_| DualQueue::new()).collect(),
+            high: (0..high_queues.max(1)).map(|_| DualQueue::new()).collect(),
+            low: SegQueue::new(),
+            rr: AtomicUsize::new(0),
+            rr_high: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueue a normal-priority staged task on `worker`'s queue.
+    pub fn push_staged(&self, worker: usize, task: StagedTask) {
+        self.workers[worker].staged.push(task);
+    }
+
+    /// Enqueue a converted (pending) task on `worker`'s queue.
+    pub fn push_pending(&self, worker: usize, task: Task) {
+        self.workers[worker].pending.push(task);
+    }
+
+    /// Enqueue a high-priority staged task (round-robin over the
+    /// high-priority queues).
+    pub fn push_high(&self, task: StagedTask) {
+        let i = self.rr_high.fetch_add(1, Ordering::Relaxed) % self.high.len();
+        self.high[i].staged.push(task);
+    }
+
+    /// Enqueue a low-priority staged task.
+    pub fn push_low(&self, task: StagedTask) {
+        self.low.push(task);
+    }
+
+    /// Pick a target worker for a spawn from an external thread.
+    pub fn next_rr(&self) -> usize {
+        self.rr.fetch_add(1, Ordering::Relaxed) % self.workers.len()
+    }
+
+    /// Total queued tasks across all queues (racy).
+    pub fn total_len(&self) -> usize {
+        self.workers.iter().map(DualQueue::len).sum::<usize>()
+            + self.high.iter().map(DualQueue::len).sum::<usize>()
+            + self.low.len()
+    }
+}
+
+/// The work-finding engine: owns the policy, the NUMA map and the counter
+/// hooks. One instance per runtime, shared by all workers.
+#[derive(Debug)]
+pub struct Scheduler {
+    /// Queue system (shared so instantaneous queue-length counters can
+    /// observe it).
+    pub queues: std::sync::Arc<QueueSet>,
+    /// NUMA topology used for search ordering.
+    pub numa: NumaTopology,
+    /// Policy variant.
+    pub kind: SchedulerKind,
+}
+
+/// Where a found task came from — used by the worker to bump the right
+/// counters and by tests to assert the search order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// High-priority queue (own or any).
+    HighPriority,
+    /// The worker's own pending queue.
+    LocalPending,
+    /// The worker's own staged queue (converted on the spot).
+    LocalStaged,
+    /// Stolen: staged queue of a same-NUMA peer.
+    NumaStaged(usize),
+    /// Stolen: pending queue of a same-NUMA peer.
+    NumaPending(usize),
+    /// Stolen: staged queue of a remote-NUMA peer.
+    RemoteStaged(usize),
+    /// Stolen: pending queue of a remote-NUMA peer.
+    RemotePending(usize),
+    /// The low-priority queue.
+    LowPriority,
+}
+
+impl Provenance {
+    /// True if this required taking work from another worker's queue.
+    pub fn is_steal(&self) -> bool {
+        matches!(
+            self,
+            Provenance::NumaStaged(_)
+                | Provenance::NumaPending(_)
+                | Provenance::RemoteStaged(_)
+                | Provenance::RemotePending(_)
+        )
+    }
+}
+
+impl Scheduler {
+    /// Build a scheduler.
+    pub fn new(numa: NumaTopology, kind: SchedulerKind, high_queues: usize) -> Self {
+        let workers = numa.workers();
+        Self {
+            queues: std::sync::Arc::new(QueueSet::new(workers, high_queues)),
+            numa,
+            kind,
+        }
+    }
+
+    /// One full search round for worker `w`, following the policy's order.
+    /// Returns a runnable task and where it came from, or `None` if every
+    /// probed queue was empty. Counter updates (accesses/misses/converted/
+    /// stolen) are recorded against worker `w` in `counters`.
+    ///
+    /// Conversion follows the HPX dual-queue flow: a staged description is
+    /// converted and *placed in a pending queue* (the worker's own one for
+    /// normal/low priority, the same high-priority queue for high
+    /// priority), and the search restarts — the converted task is then
+    /// normally dispatched from the pending queue on the next pass. A
+    /// provenance note survives the round trip so dispatch reports where
+    /// the task actually came from.
+    pub fn find_work(&self, w: usize, counters: &ThreadCounters) -> Option<(Task, Provenance)> {
+        let mut converted_from: Option<(crate::task::TaskId, Provenance)> = None;
+        'search: loop {
+            // High-priority queues always come first: own-indexed one,
+            // then the rest (pending before staged inside each).
+            let nh = self.queues.high.len();
+            for off in 0..nh {
+                let q = &self.queues.high[(w + off) % nh];
+                if let Some(t) = self.pop_pending(q, w, counters) {
+                    return Some((t, Provenance::HighPriority));
+                }
+                if let Some(t) = self.pop_staged(q, w, counters) {
+                    q.pending.push(t);
+                    continue 'search;
+                }
+            }
+
+            // 1. Local pending.
+            let own = &self.queues.workers[w];
+            if let Some(t) = self.pop_pending(own, w, counters) {
+                let prov = match converted_from.take() {
+                    Some((id, p)) if id == t.id => p,
+                    _ => Provenance::LocalPending,
+                };
+                return Some((t, prov));
+            }
+            // 2. Local staged (convert → own pending → redo the search).
+            if let Some(t) = self.pop_staged(own, w, counters) {
+                converted_from = Some((t.id, Provenance::LocalStaged));
+                self.queues.push_pending(w, t);
+                continue 'search;
+            }
+
+            match self.kind {
+                SchedulerKind::NoSteal => {}
+                SchedulerKind::PriorityLocalFifo => {
+                    // 3. Same-NUMA staged.
+                    for p in self.numa.same_domain_peers(w) {
+                        if let Some(t) = self.pop_staged(&self.queues.workers[p], w, counters) {
+                            counters.stolen.incr(w);
+                            converted_from = Some((t.id, Provenance::NumaStaged(p)));
+                            self.queues.push_pending(w, t);
+                            continue 'search;
+                        }
+                    }
+                    // 4. Same-NUMA pending.
+                    for p in self.numa.same_domain_peers(w) {
+                        if let Some(t) = self.pop_pending(&self.queues.workers[p], w, counters) {
+                            counters.stolen.incr(w);
+                            return Some((t, Provenance::NumaPending(p)));
+                        }
+                    }
+                    // 5. Remote-NUMA staged.
+                    for p in self.numa.remote_domain_peers(w) {
+                        if let Some(t) = self.pop_staged(&self.queues.workers[p], w, counters) {
+                            counters.stolen.incr(w);
+                            converted_from = Some((t.id, Provenance::RemoteStaged(p)));
+                            self.queues.push_pending(w, t);
+                            continue 'search;
+                        }
+                    }
+                    // 6. Remote-NUMA pending.
+                    for p in self.numa.remote_domain_peers(w) {
+                        if let Some(t) = self.pop_pending(&self.queues.workers[p], w, counters) {
+                            counters.stolen.incr(w);
+                            return Some((t, Provenance::RemotePending(p)));
+                        }
+                    }
+                }
+                SchedulerKind::NumaBlind => {
+                    let peers: Vec<usize> = {
+                        let mut v = self.numa.same_domain_peers(w);
+                        v.extend(self.numa.remote_domain_peers(w));
+                        v.sort_unstable_by_key(|&p| {
+                            (p + self.numa.workers() - w) % self.numa.workers()
+                        });
+                        v
+                    };
+                    for &p in &peers {
+                        if let Some(t) = self.pop_staged(&self.queues.workers[p], w, counters) {
+                            counters.stolen.incr(w);
+                            converted_from = Some((t.id, Provenance::NumaStaged(p)));
+                            self.queues.push_pending(w, t);
+                            continue 'search;
+                        }
+                    }
+                    for &p in &peers {
+                        if let Some(t) = self.pop_pending(&self.queues.workers[p], w, counters) {
+                            counters.stolen.incr(w);
+                            return Some((t, Provenance::NumaPending(p)));
+                        }
+                    }
+                }
+            }
+
+            // Low-priority queue: only when all other work is exhausted.
+            if let Some(staged) = self.queues.low.pop() {
+                counters.converted.incr(w);
+                let t = Task::convert(staged);
+                converted_from = Some((t.id, Provenance::LowPriority));
+                self.queues.push_pending(w, t);
+                continue 'search;
+            }
+            return None;
+        }
+    }
+
+    fn pop_pending(&self, q: &DualQueue, w: usize, counters: &ThreadCounters) -> Option<Task> {
+        counters.pending_accesses.incr(w);
+        match q.pending.pop() {
+            Some(t) => Some(t),
+            None => {
+                counters.pending_misses.incr(w);
+                None
+            }
+        }
+    }
+
+    fn pop_staged(&self, q: &DualQueue, w: usize, counters: &ThreadCounters) -> Option<Task> {
+        counters.staged_accesses.incr(w);
+        match q.staged.pop() {
+            Some(staged) => {
+                counters.converted.incr(w);
+                Some(Task::convert(staged))
+            }
+            None => {
+                counters.staged_misses.incr(w);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Priority, StagedTask, TaskId};
+
+    fn staged(id: u64) -> StagedTask {
+        StagedTask::once(TaskId(id), Priority::Normal, |_| {})
+    }
+
+    fn sched(workers: usize, domains: usize, kind: SchedulerKind) -> (Scheduler, ThreadCounters) {
+        let numa = NumaTopology::block(workers, domains);
+        (Scheduler::new(numa, kind, 1), ThreadCounters::new(workers))
+    }
+
+    #[test]
+    fn local_pending_beats_local_staged() {
+        let (s, c) = sched(2, 1, SchedulerKind::PriorityLocalFifo);
+        s.queues.push_staged(0, staged(1));
+        s.queues.push_pending(0, Task::convert(staged(2)));
+        let (t, prov) = s.find_work(0, &c).unwrap();
+        assert_eq!(t.id, TaskId(2));
+        assert_eq!(prov, Provenance::LocalPending);
+    }
+
+    #[test]
+    fn local_staged_beats_stealing() {
+        let (s, c) = sched(2, 1, SchedulerKind::PriorityLocalFifo);
+        s.queues.push_staged(1, staged(1)); // peer's
+        s.queues.push_staged(0, staged(2)); // own
+        let (t, prov) = s.find_work(0, &c).unwrap();
+        assert_eq!(t.id, TaskId(2));
+        assert_eq!(prov, Provenance::LocalStaged);
+        assert_eq!(c.converted.sum(), 1);
+    }
+
+    #[test]
+    fn steals_numa_staged_before_numa_pending() {
+        let (s, c) = sched(2, 1, SchedulerKind::PriorityLocalFifo);
+        s.queues.push_pending(1, Task::convert(staged(1)));
+        s.queues.push_staged(1, staged(2));
+        let (t, prov) = s.find_work(0, &c).unwrap();
+        assert_eq!(t.id, TaskId(2), "staged steals first (Fig. 1 step 3)");
+        assert_eq!(prov, Provenance::NumaStaged(1));
+        assert_eq!(c.stolen.sum(), 1);
+    }
+
+    #[test]
+    fn local_numa_beats_remote_numa() {
+        // 4 workers, 2 domains: {0,1} and {2,3}.
+        let (s, c) = sched(4, 2, SchedulerKind::PriorityLocalFifo);
+        s.queues.push_staged(2, staged(1)); // remote for worker 0
+        s.queues.push_staged(1, staged(2)); // local domain
+        let (t, prov) = s.find_work(0, &c).unwrap();
+        assert_eq!(t.id, TaskId(2));
+        assert_eq!(prov, Provenance::NumaStaged(1));
+    }
+
+    #[test]
+    fn remote_staged_beats_remote_pending() {
+        let (s, c) = sched(4, 2, SchedulerKind::PriorityLocalFifo);
+        s.queues.push_pending(2, Task::convert(staged(1)));
+        s.queues.push_staged(3, staged(2));
+        let (t, prov) = s.find_work(0, &c).unwrap();
+        assert_eq!(t.id, TaskId(2));
+        assert_eq!(prov, Provenance::RemoteStaged(3));
+    }
+
+    #[test]
+    fn full_order_matches_fig1() {
+        // Seed every tier and drain from worker 0; provenance must follow
+        // the six-step order.
+        let (s, c) = sched(4, 2, SchedulerKind::PriorityLocalFifo);
+        s.queues.push_pending(0, Task::convert(staged(10)));
+        s.queues.push_staged(0, staged(11));
+        s.queues.push_staged(1, staged(12));
+        s.queues.push_pending(1, Task::convert(staged(13)));
+        s.queues.push_staged(2, staged(14));
+        s.queues.push_pending(3, Task::convert(staged(15)));
+        s.queues.push_low(staged(16));
+
+        let mut got = Vec::new();
+        while let Some((t, prov)) = s.find_work(0, &c) {
+            got.push((t.id.0, prov));
+        }
+        assert_eq!(
+            got,
+            vec![
+                (10, Provenance::LocalPending),
+                (11, Provenance::LocalStaged),
+                (12, Provenance::NumaStaged(1)),
+                (13, Provenance::NumaPending(1)),
+                (14, Provenance::RemoteStaged(2)),
+                (15, Provenance::RemotePending(3)),
+                (16, Provenance::LowPriority),
+            ]
+        );
+    }
+
+    #[test]
+    fn high_priority_preempts_everything_queued() {
+        let (s, c) = sched(2, 1, SchedulerKind::PriorityLocalFifo);
+        s.queues.push_pending(0, Task::convert(staged(1)));
+        s.queues.push_high(staged(2));
+        let (t, prov) = s.find_work(0, &c).unwrap();
+        assert_eq!(t.id, TaskId(2));
+        assert_eq!(prov, Provenance::HighPriority);
+    }
+
+    #[test]
+    fn low_priority_runs_only_when_drained() {
+        let (s, c) = sched(1, 1, SchedulerKind::PriorityLocalFifo);
+        s.queues.push_low(staged(1));
+        s.queues.push_staged(0, staged(2));
+        let (t, _) = s.find_work(0, &c).unwrap();
+        assert_eq!(t.id, TaskId(2));
+        let (t, prov) = s.find_work(0, &c).unwrap();
+        assert_eq!(t.id, TaskId(1));
+        assert_eq!(prov, Provenance::LowPriority);
+    }
+
+    #[test]
+    fn nosteal_never_touches_peers() {
+        let (s, c) = sched(2, 1, SchedulerKind::NoSteal);
+        s.queues.push_staged(1, staged(1));
+        s.queues.push_pending(1, Task::convert(staged(2)));
+        assert!(s.find_work(0, &c).is_none());
+        assert_eq!(c.stolen.sum(), 0);
+        // Worker 1 still gets its own work.
+        assert!(s.find_work(1, &c).is_some());
+    }
+
+    #[test]
+    fn numa_blind_still_steals() {
+        let (s, c) = sched(4, 2, SchedulerKind::NumaBlind);
+        s.queues.push_staged(3, staged(1));
+        let (t, _) = s.find_work(0, &c).unwrap();
+        assert_eq!(t.id, TaskId(1));
+        assert_eq!(c.stolen.sum(), 1);
+    }
+
+    #[test]
+    fn counters_track_accesses_and_misses() {
+        let (s, c) = sched(2, 1, SchedulerKind::PriorityLocalFifo);
+        assert!(s.find_work(0, &c).is_none());
+        // hp pending+staged, own pending+staged, peer staged+pending, low:
+        // pending probes: hp(1) + own(1) + peer(1) = 3, all misses.
+        assert_eq!(c.pending_accesses.sum(), 3);
+        assert_eq!(c.pending_misses.sum(), 3);
+        assert_eq!(c.staged_accesses.sum(), 3);
+        assert_eq!(c.staged_misses.sum(), 3);
+
+        s.queues.push_pending(0, Task::convert(staged(1)));
+        assert!(s.find_work(0, &c).is_some());
+        // hp pending(miss), hp staged(miss), own pending(hit).
+        assert_eq!(c.pending_accesses.sum(), 5);
+        assert_eq!(c.pending_misses.sum(), 4);
+    }
+
+    #[test]
+    fn provenance_steal_classification() {
+        assert!(Provenance::NumaStaged(1).is_steal());
+        assert!(Provenance::RemotePending(2).is_steal());
+        assert!(!Provenance::LocalPending.is_steal());
+        assert!(!Provenance::HighPriority.is_steal());
+        assert!(!Provenance::LowPriority.is_steal());
+    }
+
+    #[test]
+    fn queueset_total_len_counts_everything() {
+        let q = QueueSet::new(2, 1);
+        q.push_staged(0, staged(1));
+        q.push_pending(1, Task::convert(staged(2)));
+        q.push_high(staged(3));
+        q.push_low(staged(4));
+        assert_eq!(q.total_len(), 4);
+    }
+}

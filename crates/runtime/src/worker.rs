@@ -1,0 +1,147 @@
+//! The worker loop: dispatch, timing, starvation accounting, parking.
+//!
+//! Timing follows the paper's counter semantics (§II-A):
+//!
+//! * `t_exec` — the closure time of each phase, accumulated into
+//!   `Σt_exec` (`/threads/time/cumulative-exec`);
+//! * `t_func` — "the total time to complete each HPX-thread": measured
+//!   from the end of the previous dispatch (i.e. including the search
+//!   for work, conversion, dequeue, state transitions) to the end of the
+//!   current phase. Starvation while work exists *somewhere* is flushed
+//!   into `Σt_func` before a worker parks, so coarse-grained runs show
+//!   the rising idle-rate of Fig. 4/5's right-hand side. Time spent
+//!   while the whole runtime is quiescent (no task in flight) is *not*
+//!   charged — otherwise the counters would drift between benchmark runs.
+
+use crate::runtime::{Inner, Resumer, TaskContext};
+use crate::task::{Poll, TaskState};
+use crate::trace::TraceEventKind;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+pub(crate) fn worker_loop(inner: Arc<Inner>, w: usize) {
+    inner.bind_worker(w);
+    let counters = &inner.counters;
+    let mut mark = Instant::now();
+    let mut failed_rounds: u32 = 0;
+
+    loop {
+        if w >= inner.active_limit.load(Ordering::SeqCst) {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            // Throttled: park without taking work; throttled time is
+            // deliberate and never charged as starvation.
+            inner.park();
+            mark = Instant::now();
+            failed_rounds = 0;
+            continue;
+        }
+        match inner.scheduler.find_work(w, counters) {
+            Some((mut task, prov)) => {
+                failed_rounds = 0;
+                if inner.tracer.enabled() {
+                    if let Some(victim) = steal_victim(&prov) {
+                        inner
+                            .tracer
+                            .record(w, task.id, TraceEventKind::Steal { from: victim });
+                    }
+                    inner.tracer.record(w, task.id, TraceEventKind::PhaseStart);
+                }
+                task.transition(TaskState::Active);
+                let mut ctx = TaskContext {
+                    inner: &inner,
+                    worker: w,
+                    task_id: task.id,
+                    phase: task.phases,
+                    suspend_registration: None,
+                };
+                let exec_start = Instant::now();
+                let poll = (task.body)(&mut ctx);
+                let exec_ns = exec_start.elapsed().as_nanos() as u64;
+                if inner.tracer.enabled() {
+                    inner.tracer.record(w, task.id, TraceEventKind::PhaseEnd);
+                }
+                let registration = ctx.suspend_registration.take();
+
+                task.phases += 1;
+                task.exec_ns += exec_ns;
+                counters.phases.incr(w);
+                counters.exec_ns.add(w, exec_ns);
+                counters.exec_histogram.record(exec_ns);
+
+                let now = Instant::now();
+                counters
+                    .func_ns
+                    .add(w, now.duration_since(mark).as_nanos() as u64);
+                mark = now;
+
+                match poll {
+                    Poll::Complete => {
+                        task.transition(TaskState::Terminated);
+                        counters.tasks.incr(w);
+                        drop(task); // free the frame before signalling idle
+                        inner.task_done();
+                    }
+                    Poll::Yield => {
+                        task.transition(TaskState::Pending);
+                        inner.scheduler.queues.push_pending(w, task);
+                        inner.wake();
+                    }
+                    Poll::Suspend => {
+                        task.transition(TaskState::Suspended);
+                        let registration = registration.expect(
+                            "task returned Poll::Suspend without calling \
+                             TaskContext::suspend_until first",
+                        );
+                        registration(Resumer {
+                            inner: Arc::clone(&inner),
+                            task: Some(task),
+                        });
+                    }
+                }
+            }
+            None => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                failed_rounds += 1;
+                if failed_rounds <= inner.config.spin_rounds {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                failed_rounds = 0;
+                if inner.in_flight.load(Ordering::SeqCst) == 0 {
+                    // Quiescent runtime: discard the elapsed window so the
+                    // counters don't drift while nothing is happening.
+                    mark = Instant::now();
+                }
+                inner.park();
+                let now = Instant::now();
+                if inner.in_flight.load(Ordering::SeqCst) > 0 {
+                    // Genuine starvation: work exists but this worker can't
+                    // get any. Charge the search + nap time to Σt_func (the
+                    // paper: at coarse grain "cores have no work to do …
+                    // but the thread scheduler continues to look for
+                    // work").
+                    counters
+                        .func_ns
+                        .add(w, now.duration_since(mark).as_nanos() as u64);
+                }
+                mark = now;
+            }
+        }
+    }
+    inner.unbind_worker();
+}
+
+fn steal_victim(prov: &crate::scheduler::Provenance) -> Option<u32> {
+    use crate::scheduler::Provenance as P;
+    match prov {
+        P::NumaStaged(p) | P::NumaPending(p) | P::RemoteStaged(p) | P::RemotePending(p) => {
+            Some(*p as u32)
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,54 @@
+//! # grain-sim — discrete-event simulation of the grain scheduler
+//!
+//! The paper's experiments run on 16–61-core Intel nodes (Table I). This
+//! crate substitutes those machines with a virtual-time discrete-event
+//! simulator that executes the *same task DAGs* through the *same
+//! scheduling policy* as `grain-runtime`:
+//!
+//! * per-worker staged/pending dual queues and the six-step Priority
+//!   Local search order (Fig. 1), with per-probe costs and staged→pending
+//!   conversion costs;
+//! * spawn-on-completion locality: a task released by a completing task is
+//!   staged on the completing worker's queue, exactly like the native
+//!   dataflow continuations;
+//! * starvation accounting: idle workers keep "looking for work" — their
+//!   idle time flows into `Σt_func` and their failed sweeps into the
+//!   pending/staged access and miss counters, reproducing the coarse-grain
+//!   behaviour of Figs. 4, 5, 9 and 10;
+//! * a calibrated kernel-time model ([`grain_topology::PerfParams`]):
+//!   saturating aggregate memory throughput (the strong-scaling limiter on
+//!   the Xeon parts and the ring/GDDR limiter on the Phi), first-touch
+//!   striping (the negative-wait-time mechanism at very coarse grain),
+//!   cache-residency floors and log-normal jitter;
+//! * scheduler-cost contention multipliers fit to the paper's ~90 % fine-
+//!   grain idle rates.
+//!
+//! The simulator emits the same counter surface
+//! ([`grain_counters::ThreadCounters`]) as the native runtime, so the
+//! metric layer (`grain-metrics`) treats both engines identically.
+//!
+//! ## Example
+//!
+//! ```
+//! use grain_sim::{simulate, SimConfig, SimWorkload};
+//! use grain_topology::presets;
+//!
+//! // 64 independent tasks of 10_000 points each on a Haswell node.
+//! let wl = SimWorkload::independent(64, 10_000);
+//! let report = simulate(&presets::haswell(), 8, &wl, &SimConfig::default());
+//! assert_eq!(report.tasks, 64);
+//! assert!(report.wall_ns > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod machine;
+pub mod report;
+pub mod workload;
+
+pub use engine::{simulate, SimConfig};
+pub use machine::MachineModel;
+pub use report::SimReport;
+pub use workload::{SimTaskSpec, SimWorkload};

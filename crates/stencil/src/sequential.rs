@@ -1,0 +1,84 @@
+//! Sequential reference solver: the same physics with no tasking at all.
+//! Used as the correctness oracle for the futurized version and as the
+//! "plain loop" baseline in the examples.
+
+use crate::heat::heat;
+use crate::params::StencilParams;
+
+/// Solve the heat equation sequentially over the flattened ring and
+/// return the final grid (length `np · nx`).
+pub fn run_sequential(params: &StencilParams) -> Vec<f64> {
+    params.validate().expect("invalid stencil parameters");
+    let n = params.total_points();
+    let coeff = params.coefficient();
+
+    // Initial condition: partition i uniformly at temperature i.
+    let mut current: Vec<f64> = (0..n).map(|g| (g / params.nx) as f64).collect();
+    let mut next = vec![0.0f64; n];
+
+    for _ in 0..params.nt {
+        for i in 0..n {
+            let left = current[(i + n - 1) % n];
+            let right = current[(i + 1) % n];
+            next[i] = heat(coeff, left, current[i], right);
+        }
+        std::mem::swap(&mut current, &mut next);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heat::total_heat;
+
+    #[test]
+    fn zero_steps_returns_initial_condition() {
+        let p = StencilParams::new(3, 4, 0);
+        let grid = run_sequential(&p);
+        assert_eq!(grid, vec![0., 0., 0., 1., 1., 1., 2., 2., 2., 3., 3., 3.]);
+    }
+
+    #[test]
+    fn uniform_grid_is_a_fixed_point() {
+        let mut p = StencilParams::new(5, 1, 10);
+        p.np = 1; // single partition → all points start at 0.
+        let grid = run_sequential(&p);
+        assert!(grid.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn heat_is_conserved() {
+        let p = StencilParams::new(16, 8, 25);
+        let before: f64 = (0..p.total_points())
+            .map(|g| (g / p.nx) as f64)
+            .sum();
+        let grid = run_sequential(&p);
+        let after = total_heat([&grid[..]]);
+        assert!(
+            (before - after).abs() < 1e-6 * before.abs().max(1.0),
+            "heat not conserved: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn diffusion_smooths_the_profile() {
+        let p = StencilParams::new(10, 4, 40);
+        let grid = run_sequential(&p);
+        let min = grid.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = grid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Initial range is [0, 3]; diffusion must shrink it strictly.
+        assert!(min > 0.0);
+        assert!(max < 3.0);
+    }
+
+    #[test]
+    fn converges_to_the_mean() {
+        let p = StencilParams::new(4, 4, 4000);
+        let grid = run_sequential(&p);
+        let mean = 1.5; // partitions 0..4 → mean of {0,1,2,3}
+        for v in grid {
+            assert!((v - mean).abs() < 1e-6, "not converged: {v}");
+        }
+    }
+}

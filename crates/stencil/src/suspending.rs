@@ -1,0 +1,135 @@
+//! A suspension-based formulation of the stencil.
+//!
+//! [`crate::futurized`] mirrors `1d_stencil_4`: tasks are *created by*
+//! dataflow when their inputs are ready, so they run exactly one phase.
+//! This module implements the other classic HPX formulation: every
+//! (step, partition) task is created **up front** and *suspends* on its
+//! unready inputs, exercising the runtime's suspended state and
+//! thread-phase counters (`/threads/count/cumulative-phases`,
+//! `/threads/time/average-phase`, …) exactly the way the paper's phase
+//! counters were added to observe (§II-A: "the number of phases, phase
+//! duration, and phase overhead can be useful to monitor the affects of
+//! suspension").
+//!
+//! Both formulations compute bit-identical physics; they differ purely in
+//! scheduling behaviour — tasks here go *pending → active → suspended →
+//! pending → …* instead of being born ready.
+
+use crate::heat::{heat_part, initial_partition, Partition};
+use crate::params::StencilParams;
+use grain_runtime::{channel, Poll, Priority, Runtime, SharedFuture};
+use std::sync::Arc;
+
+/// Run the stencil with up-front task creation and suspension on unready
+/// dependencies. Returns the flattened final grid.
+pub fn run_suspending(rt: &Runtime, params: &StencilParams) -> Vec<f64> {
+    params.validate().expect("invalid stencil parameters");
+    let np = params.np;
+    let nt = params.nt;
+    let coeff = params.coefficient();
+
+    // One future per (step, partition); step 0 is the initial condition.
+    let mut futures: Vec<Vec<SharedFuture<Partition>>> = Vec::with_capacity(nt + 1);
+    futures.push(
+        (0..np)
+            .map(|i| SharedFuture::ready(initial_partition(i, params.nx)))
+            .collect(),
+    );
+    let mut promises = Vec::with_capacity(nt);
+    for _ in 0..nt {
+        let (ps, fs): (Vec<_>, Vec<_>) = (0..np).map(|_| channel()).unzip();
+        promises.push(ps);
+        futures.push(fs);
+    }
+
+    // Spawn every task up front. Each suspends until its three inputs are
+    // ready, then computes and fulfills its promise.
+    for (t, step_promises) in promises.into_iter().enumerate() {
+        for (i, promise) in step_promises.into_iter().enumerate() {
+            let left = futures[t][(i + np - 1) % np].clone();
+            let mid = futures[t][i].clone();
+            let right = futures[t][(i + 1) % np].clone();
+            let mut promise = Some(promise);
+            rt.spawn_phased(Priority::Normal, move |ctx| {
+                // Suspend on the first unready input; re-check on resume.
+                for dep in [&left, &mid, &right] {
+                    if !dep.is_ready() {
+                        ctx.suspend_until(dep);
+                        return Poll::Suspend;
+                    }
+                }
+                let l: Arc<Partition> = left.try_get().unwrap();
+                let m = mid.try_get().unwrap();
+                let r = right.try_get().unwrap();
+                promise
+                    .take()
+                    .expect("task completed twice")
+                    .set(heat_part(coeff, &l, &m, &r));
+                Poll::Complete
+            });
+        }
+    }
+
+    let mut grid = Vec::with_capacity(np * params.nx);
+    for f in &futures[nt] {
+        grid.extend_from_slice(&f.get());
+    }
+    rt.wait_idle();
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::run_sequential;
+
+    fn rt(workers: usize) -> Runtime {
+        Runtime::with_workers(workers)
+    }
+
+    #[test]
+    fn matches_sequential() {
+        let params = StencilParams::new(8, 6, 10);
+        assert_eq!(run_suspending(&rt(3), &params), run_sequential(&params));
+    }
+
+    #[test]
+    fn matches_futurized_formulation() {
+        let params = StencilParams::new(16, 9, 7);
+        let a = run_suspending(&rt(2), &params);
+        let b = crate::futurized::run_futurized(&rt(2), &params);
+        assert_eq!(a, b, "both formulations must agree bit-for-bit");
+    }
+
+    #[test]
+    fn suspension_creates_extra_phases() {
+        let params = StencilParams::new(32, 8, 6);
+        let r = rt(2);
+        let _ = run_suspending(&r, &params);
+        let c = r.counters();
+        assert_eq!(c.tasks.sum() as usize, params.total_tasks());
+        // Step-0 tasks find their inputs ready, but later steps usually
+        // suspend at least once; phases must exceed tasks overall.
+        assert!(
+            c.phases.sum() > c.tasks.sum(),
+            "expected suspension phases: phases={} tasks={}",
+            c.phases.sum(),
+            c.tasks.sum()
+        );
+    }
+
+    #[test]
+    fn zero_steps_returns_initial_condition() {
+        let params = StencilParams::new(4, 3, 0);
+        let grid = run_suspending(&rt(1), &params);
+        assert_eq!(grid, vec![0., 0., 0., 0., 1., 1., 1., 1., 2., 2., 2., 2.]);
+    }
+
+    #[test]
+    fn single_worker_cannot_deadlock() {
+        // All tasks queued up front on one worker: suspension must keep
+        // the worker free to run whatever is ready, in any order.
+        let params = StencilParams::new(8, 5, 8);
+        assert_eq!(run_suspending(&rt(1), &params), run_sequential(&params));
+    }
+}

@@ -1,0 +1,34 @@
+//! # grain-topology — machine topology and platform models
+//!
+//! The paper's scheduler is NUMA-aware (§I-B, Fig. 1): each worker owns a
+//! dual queue, and work search proceeds local → same NUMA domain → remote
+//! NUMA domains. The experiments run on four Intel platforms whose
+//! specifications are given in Table I. This crate provides:
+//!
+//! * [`NumaTopology`] — cores grouped into NUMA domains, with the
+//!   worker-to-domain mapping and domain-distance queries the scheduler
+//!   needs to order its six-step search;
+//! * [`CacheSpec`] — the cache hierarchy facts used by the simulator's
+//!   locality model;
+//! * [`Platform`] — a full machine description; [`presets`] reproduces
+//!   Table I exactly (Sandy Bridge, Ivy Bridge, Haswell, Xeon Phi);
+//! * [`PerfParams`] — calibrated software/hardware cost parameters
+//!   (per-point kernel rates, memory bandwidth, scheduler operation costs)
+//!   that drive the discrete-event simulator in `grain-sim`. These are
+//!   *fits to the measurements reported in the paper's text*, documented
+//!   per constant — not arbitrary magic numbers;
+//! * [`host`] — detection of the machine this library is actually running
+//!   on, for the native runtime.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod host;
+pub mod numa;
+pub mod platform;
+pub mod presets;
+
+pub use cache::CacheSpec;
+pub use numa::{DomainId, NumaTopology};
+pub use platform::{PerfParams, Platform};

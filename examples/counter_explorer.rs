@@ -1,0 +1,53 @@
+//! Explore the performance-counter tree: run a small workload, then
+//! discover and dump every registered counter — per-worker instances,
+//! totals and derived metrics — the way HPX's command-line counter
+//! interface does after a run.
+//!
+//! ```sh
+//! cargo run --release --example counter_explorer
+//! ```
+
+use grain::counters::Snapshot;
+use grain::runtime::Runtime;
+use grain::stencil::{run_futurized, StencilParams};
+
+fn main() {
+    let rt = Runtime::with_workers(grain::topology::host::available_cores().max(2));
+    let params = StencilParams::for_total(500_000, 5_000, 10);
+
+    // Interval measurement: snapshot → work → snapshot → delta, the
+    // windowed form the paper's adaptivity goal needs (§II-A).
+    let before = Snapshot::capture_all(rt.registry());
+    let _ = run_futurized(&rt, &params);
+    rt.wait_idle();
+    let after = Snapshot::capture_all(rt.registry());
+    let window = before.delta(&after);
+
+    println!("=== full counter dump (cumulative since start) ===");
+    for path in rt.registry().paths() {
+        let v = rt.registry().query(&path).unwrap();
+        println!("{path:<64} = {v}");
+    }
+
+    println!("\n=== the same counters over the measured window ===");
+    for (path, v) in window.iter() {
+        println!("{path:<64} = {v}");
+    }
+
+    let ir = window
+        .windowed_ratio(
+            "/threads{locality#0/total}/time/cumulative-exec",
+            "/threads{locality#0/total}/time/cumulative-func",
+        )
+        .unwrap_or(0.0);
+    println!("\nwindowed idle-rate (Eq. 1 over the interval): {:.2}%", ir * 100.0);
+
+    println!("\n=== wildcard discovery ===");
+    for pat in ["/threads/idle-rate", "/threads/count/pending-*"] {
+        let hits = rt.registry().discover(pat).unwrap();
+        println!("{pat} -> {} counters", hits.len());
+        for h in hits {
+            println!("   {h}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Cross-platform what-if analysis with the simulator: take one stencil
+//! configuration and ask how it would behave on each of the paper's
+//! Table I machines — the kind of question the simulated substrate
+//! exists to answer on a laptop.
+//!
+//! ```sh
+//! cargo run --release --example platform_sim
+//! ```
+
+use grain::sim::{simulate, SimConfig};
+use grain::stencil::{stencil_workload, StencilParams};
+use grain::topology::presets;
+
+fn main() {
+    // 10M points, 10 steps, 20k-point partitions.
+    let params = StencilParams::for_total(10_000_000, 20_000, 10);
+    let wl = stencil_workload(&params);
+    println!(
+        "stencil: {} points x {} steps, nx={} ({} tasks)\n",
+        params.total_points(),
+        params.nt,
+        params.nx,
+        wl.len()
+    );
+
+    println!(
+        "{:<14} {:>6} {:>10} {:>10} {:>10} {:>12}",
+        "platform", "cores", "exec(s)", "t_d", "idle-rate", "stolen"
+    );
+    for platform in presets::table1() {
+        for &cores in &[1usize, platform.usable_cores / 2, platform.usable_cores] {
+            let r = simulate(&platform, cores, &wl, &SimConfig::default());
+            println!(
+                "{:<14} {:>6} {:>10.3} {:>9.1}us {:>9.1}% {:>12}",
+                platform.name,
+                cores,
+                r.wall_seconds(),
+                r.task_duration_ns() / 1e3,
+                r.idle_rate() * 100.0,
+                r.stolen,
+            );
+        }
+        println!();
+    }
+    println!(
+        "The Xeon parts saturate their memory bandwidth within ~8 cores; the Phi's\n\
+         slow in-order cores keep scaling but pay far more per task — the paper's\n\
+         platform contrast in one table."
+    );
+}

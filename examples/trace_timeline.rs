@@ -1,0 +1,55 @@
+//! Visualize scheduling: run the stencil at two granularities with
+//! tracing on and render the worker timelines as text Gantt charts —
+//! coarse partitions leave visible idle gaps, fine partitions fill the
+//! timeline but pay for it in task-management overhead.
+//!
+//! ```sh
+//! cargo run --release --example trace_timeline
+//! ```
+
+use grain::runtime::{Runtime, RuntimeConfig};
+use grain::stencil::{run_futurized, StencilParams};
+
+fn run_traced(workers: usize, params: &StencilParams) {
+    let rt = Runtime::new(RuntimeConfig {
+        workers,
+        trace: true,
+        ..RuntimeConfig::default()
+    });
+    let _ = run_futurized(&rt, params);
+    rt.wait_idle();
+    let trace = rt.take_trace();
+
+    println!(
+        "nx={} np={} nt={}: {} events, {} steals, load imbalance {:.2}",
+        params.nx,
+        params.np,
+        params.nt,
+        trace.len(),
+        trace.steals(),
+        trace.load_imbalance(),
+    );
+    println!("phases per worker: {:?}", trace.phases_per_worker());
+    print!("{}", trace.render_gantt(72));
+    println!();
+}
+
+fn main() {
+    let workers = 4;
+    println!("worker timelines ('#' busy, '.' partially busy, ' ' idle)\n");
+
+    println!("-- coarse: 2 partitions on {workers} workers (starvation) --");
+    run_traced(workers, &StencilParams::for_total(400_000, 200_000, 6));
+
+    println!("-- medium: 16 partitions on {workers} workers --");
+    run_traced(workers, &StencilParams::for_total(400_000, 25_000, 6));
+
+    println!("-- fine: 2000 partitions on {workers} workers (overhead) --");
+    run_traced(workers, &StencilParams::for_total(400_000, 200, 6));
+
+    println!(
+        "The coarse run's rows show long blank stretches (starved workers); the\n\
+         fine run's rows are dense but the same physics takes longer overall —\n\
+         the Fig. 3 U-curve, drawn as timelines."
+    );
+}

@@ -1,0 +1,14 @@
+//! # Grain — task-granularity characterization runtime
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a
+//! tour; this is a from-scratch Rust reproduction of Grubel et al.,
+//! *"The Performance Implication of Task Size for Applications on the HPX
+//! Runtime System"* (IEEE CLUSTER 2015).
+
+pub use grain_adaptive as adaptive;
+pub use grain_counters as counters;
+pub use grain_metrics as metrics;
+pub use grain_runtime as runtime;
+pub use grain_sim as sim;
+pub use grain_stencil as stencil;
+pub use grain_topology as topology;
