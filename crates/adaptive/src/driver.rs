@@ -140,7 +140,11 @@ mod tests {
         });
         let trace = adapt(&engine, 8, &mut tuner, 20);
         assert!(trace.converged);
-        assert!(trace.epochs.len() <= 5, "took {} epochs", trace.epochs.len());
+        assert!(
+            trace.epochs.len() <= 5,
+            "took {} epochs",
+            trace.epochs.len()
+        );
     }
 
     #[test]

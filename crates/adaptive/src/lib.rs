@@ -33,8 +33,8 @@ pub mod tuner;
 pub use driver::{adapt, AdaptiveTrace, Epoch};
 pub use online::{run_online, OnlineEpoch, OnlineRun};
 pub use policy::{
-    run_policy_driven, run_policy_epochs, Action, GrainPolicy, Policy, PolicyContext,
-    PolicyEngine, PolicyRun, ThrottlePolicy,
+    run_policy_driven, run_policy_epochs, Action, GrainPolicy, Policy, PolicyContext, PolicyEngine,
+    PolicyRun, ThrottlePolicy,
 };
 pub use threshold::{nx_minimizing_pending_accesses, smallest_nx_below_idle_rate, Selection};
 pub use tuner::{HillClimber, Observation, ThresholdTuner, Tuner, TunerConfig};

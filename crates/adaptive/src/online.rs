@@ -128,7 +128,14 @@ mod tests {
             initial_nx: 8,
             ..TunerConfig::default()
         });
-        let run = run_online(&rt, initial_grid(&params), params.coefficient(), 3, 4, &mut tuner);
+        let run = run_online(
+            &rt,
+            initial_grid(&params),
+            params.coefficient(),
+            3,
+            4,
+            &mut tuner,
+        );
         let seq = run_sequential(&params);
         assert_eq!(run.grid, seq, "re-partitioned run diverged from oracle");
     }
@@ -141,7 +148,14 @@ mod tests {
             initial_nx: 16,
             ..TunerConfig::default()
         });
-        let run = run_online(&rt, initial_grid(&params), params.coefficient(), 2, 4, &mut tuner);
+        let run = run_online(
+            &rt,
+            initial_grid(&params),
+            params.coefficient(),
+            2,
+            4,
+            &mut tuner,
+        );
         assert!(!run.epochs.is_empty());
         for e in &run.epochs {
             assert!(e.wall_s > 0.0);
@@ -161,11 +175,21 @@ mod tests {
             target_idle_rate: 0.5,
             ..TunerConfig::default()
         });
-        let run = run_online(&rt, vec![0.0; params.total_points()], 0.5, 3, 10, &mut tuner);
+        let run = run_online(
+            &rt,
+            vec![0.0; params.total_points()],
+            0.5,
+            3,
+            10,
+            &mut tuner,
+        );
         assert!(
             run.final_nx > 4,
             "windowed idle-rate should push past nx=4 (epochs: {:?})",
-            run.epochs.iter().map(|e| (e.nx, e.idle_rate)).collect::<Vec<_>>()
+            run.epochs
+                .iter()
+                .map(|e| (e.nx, e.idle_rate))
+                .collect::<Vec<_>>()
         );
     }
 

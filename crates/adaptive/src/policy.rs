@@ -104,10 +104,7 @@ impl Policy for ThrottlePolicy {
     }
     fn evaluate(&mut self, ctx: &PolicyContext) -> Vec<Action> {
         let partitions = (ctx.tasks_per_core * ctx.active_workers as f64).round() as usize;
-        let want = partitions
-            .max(self.min_workers)
-            .min(ctx.max_workers)
-            .max(1);
+        let want = partitions.max(self.min_workers).min(ctx.max_workers).max(1);
         if (ctx.tasks_per_core < self.min_slack && want < ctx.active_workers)
             || (want > ctx.active_workers && ctx.tasks_per_core >= self.min_slack)
         {
@@ -294,10 +291,8 @@ mod tests {
             initial_nx: 1_000,
             ..TunerConfig::default()
         }));
-        let mut engine = PolicyEngine::new(vec![
-            Box::new(grain),
-            Box::new(ThrottlePolicy::default()),
-        ]);
+        let mut engine =
+            PolicyEngine::new(vec![Box::new(grain), Box::new(ThrottlePolicy::default())]);
         // High idle-rate at fine grain with plenty of slack: grain grows,
         // throttle holds.
         let (g, w) = engine.evaluate(&ctx(0.9, 50.0, 8, 8));

@@ -30,7 +30,13 @@ fn main() {
     // Part 1: native scheduler variants.
     let params = StencilParams::for_total(2_000_000, 5_000, 10);
     let workers = 4;
-    let headers = ["scheduler", "exec(s)", "idle-rate", "stolen", "pending-misses"];
+    let headers = [
+        "scheduler",
+        "exec(s)",
+        "idle-rate",
+        "stolen",
+        "pending-misses",
+    ];
     let mut rows = Vec::new();
     for (name, kind) in [
         ("priority-local-fifo", SchedulerKind::PriorityLocalFifo),
@@ -67,7 +73,12 @@ fn main() {
     println!();
 
     // Part 2: queue-cost sensitivity in the simulator.
-    let headers = ["cost scale", "best nx @28c", "best exec(s)", "exec(s) @ nx=2500"];
+    let headers = [
+        "cost scale",
+        "best nx @28c",
+        "best exec(s)",
+        "exec(s) @ nx=2500",
+    ];
     let mut rows = Vec::new();
     for scale in [1.0, 4.0, 16.0] {
         let mut platform = presets::haswell();

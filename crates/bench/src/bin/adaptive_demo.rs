@@ -20,7 +20,10 @@ fn main() {
             target_idle_rate: 0.30,
             ..TunerConfig::default()
         });
-        eprintln!("# adapting from {label} (nx={initial_nx}) on {} {workers} cores…", p.name);
+        eprintln!(
+            "# adapting from {label} (nx={initial_nx}) on {} {workers} cores…",
+            p.name
+        );
         let trace = adapt(&engine, workers, &mut tuner, 24);
 
         let headers = ["epoch", "nx", "exec(s)", "idle-rate", "Gpt/s"];

@@ -18,19 +18,43 @@ fn main() {
 
     // t_d1 values (§IV-A).
     let r = hw.run(12_500, 1, 0);
-    rows.push(row("HW t_d1(12500)", "21 us", table::fmt::ns(r.task_duration_ns())));
+    rows.push(row(
+        "HW t_d1(12500)",
+        "21 us",
+        table::fmt::ns(r.task_duration_ns()),
+    ));
     let serial_12500 = r.wall_s;
     let r = hw.run(78_125, 1, 0);
-    rows.push(row("HW t_d1(78125)", "99 us", table::fmt::ns(r.task_duration_ns())));
+    rows.push(row(
+        "HW t_d1(78125)",
+        "99 us",
+        table::fmt::ns(r.task_duration_ns()),
+    ));
     let r = phi.run(12_500, 1, 0);
-    rows.push(row("Phi t_d1(12500)", "1.1 ms", table::fmt::ns(r.task_duration_ns())));
+    rows.push(row(
+        "Phi t_d1(12500)",
+        "1.1 ms",
+        table::fmt::ns(r.task_duration_ns()),
+    ));
 
     // Serial flat region (Fig. 3c/d).
-    rows.push(row("HW serial exec @12500", "~5-8 s", table::fmt::s(serial_12500)));
+    rows.push(row(
+        "HW serial exec @12500",
+        "~5-8 s",
+        table::fmt::s(serial_12500),
+    ));
     let r = hw.run(1_000_000, 1, 0);
-    rows.push(row("HW serial exec @1e6", "~4.5-5.5 s", table::fmt::s(r.wall_s)));
+    rows.push(row(
+        "HW serial exec @1e6",
+        "~4.5-5.5 s",
+        table::fmt::s(r.wall_s),
+    ));
     let r = phi.run(1_000_000, 1, 0);
-    rows.push(row("Phi serial exec @1e6", "~45-60 s", table::fmt::s(r.wall_s)));
+    rows.push(row(
+        "Phi serial exec @1e6",
+        "~45-60 s",
+        table::fmt::s(r.wall_s),
+    ));
 
     // The 28-core valley (§IV-A).
     let r = hw.run(40_000, 28, 0);
@@ -38,15 +62,27 @@ fn main() {
     let r = hw.run(78_125, 28, 0);
     rows.push(row("HW 28c exec @78125", "1.75 s", table::fmt::s(r.wall_s)));
     let r = hw.run(31_250, 28, 0);
-    rows.push(row("HW 28c exec @31250", "1.925 s", table::fmt::s(r.wall_s)));
+    rows.push(row(
+        "HW 28c exec @31250",
+        "1.925 s",
+        table::fmt::s(r.wall_s),
+    ));
 
     // Idle-rate extremes (Fig. 4c).
     let r = hw.run(1_000, 28, 0);
-    rows.push(row("HW 28c idle-rate @1000", "~85-90%", table::fmt::pct(r.idle_rate())));
+    rows.push(row(
+        "HW 28c idle-rate @1000",
+        "~85-90%",
+        table::fmt::pct(r.idle_rate()),
+    ));
     let fine_exec = r.wall_s;
     rows.push(row("HW 28c exec @1000", "~4.8 s", table::fmt::s(fine_exec)));
     let r = hw.run(100_000_000, 28, 0);
-    rows.push(row("HW 28c idle-rate @1e8", "~80-90%", table::fmt::pct(r.idle_rate())));
+    rows.push(row(
+        "HW 28c idle-rate @1e8",
+        "~80-90%",
+        table::fmt::pct(r.idle_rate()),
+    ));
 
     // Wait time per task at 90 000 (Fig. 6).
     let base = hw.run(90_000, 1, 0);
@@ -59,7 +95,11 @@ fn main() {
 
     // Phi valley (Fig. 3d).
     let r = phi.run(100_000, 60, 0);
-    rows.push(row("Phi 60c exec @1e5", "~1.3-1.6 s", table::fmt::s(r.wall_s)));
+    rows.push(row(
+        "Phi 60c exec @1e5",
+        "~1.3-1.6 s",
+        table::fmt::s(r.wall_s),
+    ));
 
     print!(
         "{}",

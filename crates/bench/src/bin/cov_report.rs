@@ -35,7 +35,10 @@ fn main() {
     print!(
         "{}",
         table::render(
-            &format!("COV of execution time over {} samples — {}", cli.samples, p.name),
+            &format!(
+                "COV of execution time over {} samples — {}",
+                cli.samples, p.name
+            ),
             &headers,
             &rows
         )

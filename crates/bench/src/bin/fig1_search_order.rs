@@ -40,7 +40,15 @@ fn main() {
     let mut step = 1;
     while let Some((task, prov)) = sched.find_work(0, &counters) {
         println!("  step {step}: task#{} from {:?}", task.id.0, prov);
-        let expected: &[(u64, bool)] = &[(10, false), (11, false), (12, true), (13, true), (14, true), (15, true), (16, false)];
+        let expected: &[(u64, bool)] = &[
+            (10, false),
+            (11, false),
+            (12, true),
+            (13, true),
+            (14, true),
+            (15, true),
+            (16, false),
+        ];
         let (id, steal) = expected[step - 1];
         assert_eq!(task.id.0, id, "search order violated");
         assert_eq!(prov.is_steal(), steal);

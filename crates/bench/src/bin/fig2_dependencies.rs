@@ -38,7 +38,10 @@ fn main() {
     let rt = Runtime::with_workers(4);
     let fut = run_futurized(&rt, &params);
     let seq = run_sequential(&params);
-    assert_eq!(fut, seq, "dataflow execution must match the sequential oracle");
+    assert_eq!(
+        fut, seq,
+        "dataflow execution must match the sequential oracle"
+    );
     println!();
     println!(
         "OK: {} tasks, 3 dependencies each past step 0; futurized execution on 4 \

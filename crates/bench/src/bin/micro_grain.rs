@@ -81,9 +81,20 @@ fn main() {
     println!();
 
     // Part 3: layered random DAG (irregular parallelism).
-    let headers = ["width", "layers", "points/task", "exec(s)", "idle-rate", "stolen"];
+    let headers = [
+        "width",
+        "layers",
+        "points/task",
+        "exec(s)",
+        "idle-rate",
+        "stolen",
+    ];
     let mut rows = Vec::new();
-    for (width, layers, points) in [(512usize, 64usize, 2_000u64), (64, 512, 16_000), (8, 4096, 128_000)] {
+    for (width, layers, points) in [
+        (512usize, 64usize, 2_000u64),
+        (64, 512, 16_000),
+        (8, 4096, 128_000),
+    ] {
         let wl = SimWorkload::layered_random(layers, width, points, 7);
         let r = simulate(&hw, 16, &wl, &SimConfig::default());
         rows.push(vec![

@@ -12,10 +12,19 @@ fn main() {
     let cli = Cli::parse();
     // Scale to the host: ~2M points, 10 steps keeps the fine end tractable.
     let engine = NativeEngine::scaled(2_000_000, 10);
-    let grid = [500usize, 2_000, 10_000, 50_000, 200_000, 1_000_000, 2_000_000];
+    let grid = [
+        500usize, 2_000, 10_000, 50_000, 200_000, 1_000_000, 2_000_000,
+    ];
     let max = host::available_cores().clamp(2, 8);
-    let cores: Vec<usize> = [1usize, 2, 4, 8].iter().copied().filter(|&c| c <= max).collect();
-    eprintln!("# native sweep on host ({} cores detected)…", host::available_cores());
+    let cores: Vec<usize> = [1usize, 2, 4, 8]
+        .iter()
+        .copied()
+        .filter(|&c| c <= max)
+        .collect();
+    eprintln!(
+        "# native sweep on host ({} cores detected)…",
+        host::available_cores()
+    );
     let progress = |line: &str| eprintln!("#   {line}");
     let sweep = run_sweep(&engine, &grid, &cores, cli.samples, Some(&progress));
 

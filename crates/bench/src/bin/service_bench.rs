@@ -1,0 +1,310 @@
+//! Open-loop load generator for the grain-service job layer.
+//!
+//! Three tenants with different grain profiles (the paper's central
+//! variable) submit jobs on fixed schedules, Task-Bench style, against
+//! one shared runtime:
+//!
+//! * `interactive` — many small jobs of fine-grained tasks, weight 4,
+//!   `Interactive` priority;
+//! * `batch` — medium jobs of medium tasks, weight 2;
+//! * `background` — few large jobs of coarse tasks, weight 1,
+//!   `BestEffort` priority.
+//!
+//! On top of the steady load the harness provokes the two unhappy paths:
+//! a runaway background job that is cancelled mid-flight, and a burst
+//! that overflows the admission queue so submissions bounce with
+//! `Rejected`. The report shows per-tenant throughput, exact p50/p99
+//! turnaround, the service counter surface, and one job's counter paths.
+
+use grain_bench::Cli;
+use grain_metrics::table;
+use grain_service::{
+    AdmissionConfig, JobHandle, JobPriority, JobService, JobSpec, JobState, ServiceConfig,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Keep a core busy for roughly `us` microseconds of real work.
+fn spin_for(us: u64) {
+    let t0 = Instant::now();
+    let mut x = 0u64;
+    while t0.elapsed() < Duration::from_micros(us) {
+        for i in 0..64u64 {
+            x = x.wrapping_add(std::hint::black_box(i) * i);
+        }
+    }
+    std::hint::black_box(x);
+}
+
+struct Profile {
+    tenant: &'static str,
+    priority: JobPriority,
+    tasks: u64,
+    grain_us: u64,
+    jobs: usize,
+    inter_arrival: Duration,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let workers = grain_topology::host::available_cores().clamp(2, 4);
+    let scale = if cli.quick { 1 } else { 4 };
+
+    let config = ServiceConfig {
+        runtime: grain_service::grain_runtime::RuntimeConfig::with_workers(workers),
+        admission: AdmissionConfig {
+            max_in_flight_tasks: 256,
+            max_queued_jobs: 8,
+            default_tenant_weight: 1,
+            tenant_weights: vec![("interactive".into(), 4), ("batch".into(), 2)],
+        },
+        poll_interval: Duration::from_micros(200),
+    };
+    let max_budget = config.admission.max_in_flight_tasks;
+    let queue_limit = config.admission.max_queued_jobs;
+    let service = JobService::new(config);
+    println!(
+        "# service_bench: {workers} workers, budget {max_budget} tasks, queue limit {queue_limit}"
+    );
+
+    // ---- Unhappy path 1: a runaway job, cancelled mid-flight. -------
+    // Its cost claims the whole budget, so while it runs everything else
+    // must wait in the tenant queues.
+    let release_probe = Arc::new(AtomicBool::new(false));
+    let probe = Arc::clone(&release_probe);
+    let runaway = service.submit(
+        JobSpec::new("runaway", "background")
+            .priority(JobPriority::BestEffort)
+            .estimated_tasks(max_budget),
+        move |ctx| {
+            probe.store(true, Ordering::SeqCst);
+            for _ in 0..4 {
+                ctx.spawn(|c| {
+                    while !c.is_cancelled() {
+                        spin_for(50);
+                    }
+                });
+            }
+        },
+    );
+    while !release_probe.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_micros(100));
+    }
+
+    // ---- Unhappy path 2: burst past the queue bound. ----------------
+    let mut burst: Vec<JobHandle> = Vec::new();
+    for i in 0..queue_limit + 4 {
+        burst.push(service.submit(
+            JobSpec::new(format!("burst-{i}"), "batch").estimated_tasks(2),
+            |ctx| {
+                ctx.spawn(|_| spin_for(5));
+            },
+        ));
+    }
+    let bounced = burst
+        .iter()
+        .filter(|h| h.state() == JobState::Rejected)
+        .count();
+    runaway.cancel();
+    let runaway_outcome = runaway.wait();
+    println!(
+        "# runaway cancelled: state={} completed={} skipped={}; burst rejected {bounced}/{}",
+        runaway_outcome.state,
+        runaway_outcome.tasks_completed,
+        runaway_outcome.tasks_skipped,
+        burst.len()
+    );
+    assert_eq!(runaway_outcome.state, JobState::Cancelled);
+    assert!(bounced >= 1, "burst must overflow the admission queue");
+
+    // ---- Steady open-loop load across three tenants. ----------------
+    let profiles = [
+        Profile {
+            tenant: "interactive",
+            priority: JobPriority::Interactive,
+            tasks: 16,
+            grain_us: 20,
+            jobs: 12 * scale,
+            inter_arrival: Duration::from_millis(2),
+        },
+        Profile {
+            tenant: "batch",
+            priority: JobPriority::Batch,
+            tasks: 32,
+            grain_us: 100,
+            jobs: 6 * scale,
+            inter_arrival: Duration::from_millis(4),
+        },
+        Profile {
+            tenant: "background",
+            priority: JobPriority::BestEffort,
+            tasks: 64,
+            grain_us: 400,
+            jobs: 2 * scale,
+            inter_arrival: Duration::from_millis(12),
+        },
+    ];
+
+    let t0 = Instant::now();
+    let mut handles: Vec<(&'static str, JobHandle)> = Vec::new();
+    std::thread::scope(|scope| {
+        // One generator thread per tenant: each submits on its own
+        // clock (open loop), not when the service is ready for it.
+        let generators: Vec<_> = profiles
+            .iter()
+            .map(|p| {
+                let service = &service;
+                let (tenant, priority, tasks, grain_us, jobs, gap) = (
+                    p.tenant,
+                    p.priority,
+                    p.tasks,
+                    p.grain_us,
+                    p.jobs,
+                    p.inter_arrival,
+                );
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    let start = Instant::now();
+                    for j in 0..jobs {
+                        // Sleep to the schedule, then submit regardless
+                        // of service state.
+                        let due = gap * j as u32;
+                        if let Some(sleep) = due.checked_sub(start.elapsed()) {
+                            std::thread::sleep(sleep);
+                        }
+                        let spec = JobSpec::new(format!("{tenant}-{j}"), tenant)
+                            .priority(priority)
+                            .estimated_tasks(tasks + 1);
+                        mine.push(service.submit(spec, move |ctx| {
+                            for _ in 0..tasks {
+                                ctx.spawn(move |_| spin_for(grain_us));
+                            }
+                        }));
+                    }
+                    (tenant, mine)
+                })
+            })
+            .collect();
+        for t in generators {
+            let (tenant, mine) = t.join().expect("generator thread panicked");
+            handles.extend(mine.into_iter().map(|h| (tenant, h)));
+        }
+    });
+
+    // Join every job and fold per-tenant stats.
+    let mut rows = Vec::new();
+    let mut all_turnarounds: Vec<Duration> = Vec::new();
+    for p in &profiles {
+        let mut turnarounds: Vec<Duration> = Vec::new();
+        let mut states = [0usize; 4]; // completed, cancelled+timed-out, rejected, other
+        let mut tasks_done = 0u64;
+        for (tenant, h) in handles.iter().filter(|(t, _)| *t == p.tenant) {
+            let _ = tenant;
+            let o = h.wait();
+            match o.state {
+                JobState::Completed => states[0] += 1,
+                JobState::Cancelled | JobState::TimedOut => states[1] += 1,
+                JobState::Rejected => states[2] += 1,
+                _ => states[3] += 1,
+            }
+            if o.state == JobState::Completed {
+                turnarounds.push(o.turnaround);
+                tasks_done += o.tasks_completed;
+            }
+        }
+        turnarounds.sort();
+        all_turnarounds.extend(turnarounds.iter().copied());
+        rows.push(vec![
+            p.tenant.to_string(),
+            p.jobs.to_string(),
+            states[0].to_string(),
+            states[2].to_string(),
+            table::fmt::count(tasks_done as f64),
+            table::fmt::s(percentile(&turnarounds, 0.50).as_secs_f64()),
+            table::fmt::s(percentile(&turnarounds, 0.99).as_secs_f64()),
+        ]);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let headers = [
+        "tenant", "jobs", "done", "rejected", "tasks", "p50 turn", "p99 turn",
+    ];
+    print!(
+        "{}",
+        table::render(
+            &format!("service_bench: open-loop mixed-grain load, {elapsed:.2}s wall"),
+            &headers,
+            &rows
+        )
+    );
+    if cli.csv {
+        println!();
+        print!("{}", table::csv(&headers, &rows));
+    }
+
+    all_turnarounds.sort();
+    let total_jobs: usize = profiles.iter().map(|p| p.jobs).sum();
+    println!(
+        "\nthroughput: {:.1} jobs/s submitted, p50 {:.3} ms / p99 {:.3} ms turnaround (all tenants)",
+        total_jobs as f64 / elapsed,
+        percentile(&all_turnarounds, 0.50).as_secs_f64() * 1e3,
+        percentile(&all_turnarounds, 0.99).as_secs_f64() * 1e3,
+    );
+
+    // ---- The counter surfaces. --------------------------------------
+    // Join the burst stragglers too, so the gauges below read a fully
+    // drained service.
+    for h in &burst {
+        let _ = h.wait();
+    }
+    let (_, sample) = handles.last().expect("load phase submitted jobs");
+    println!(
+        "\nper-job counters of {} ({}):",
+        sample.instance(),
+        sample.state()
+    );
+    for path in sample.counter_paths() {
+        let v = service
+            .registry()
+            .query(&path)
+            .map(|v| v.value)
+            .unwrap_or(f64::NAN);
+        println!("  {path} = {v:.0}");
+    }
+    println!("\nservice counters:");
+    for path in [
+        "/service/jobs/submitted",
+        "/service/jobs/admitted",
+        "/service/jobs/completed",
+        "/service/jobs/cancelled",
+        "/service/jobs/timed-out",
+        "/service/jobs/rejected",
+        "/service/queue/length",
+        "/service/tasks/budget-in-use",
+        "/service/time/admission-latency",
+        "/service/time/turnaround",
+    ] {
+        let v = service.registry().query(path).expect("registered").value;
+        println!("  {path} = {v:.0}");
+    }
+    let counters = service.counters();
+    println!("\nturnaround histogram (log2 ns buckets):");
+    print!("{}", counters.turnaround.render("ns", 40));
+    println!(
+        "histogram quantile floors: p50 >= {} ns, p99 >= {} ns",
+        counters.turnaround.quantile_floor(0.50),
+        counters.turnaround.quantile_floor(0.99)
+    );
+
+    assert!(counters.cancelled.get() >= 1, "at least one cancelled job");
+    assert!(counters.rejected.get() >= 1, "at least one rejected job");
+    println!("\nok: >=3 tenants served, >=1 job cancelled, >=1 rejected by admission control");
+}

@@ -6,8 +6,15 @@ use grain_topology::presets;
 fn main() {
     let platforms = presets::table1();
     let headers = [
-        "Node", "Processors", "Clock", "Microarchitecture", "HW threading",
-        "Cores", "Cache/Core", "Shared cache", "RAM",
+        "Node",
+        "Processors",
+        "Clock",
+        "Microarchitecture",
+        "HW threading",
+        "Cores",
+        "Cache/Core",
+        "Shared cache",
+        "RAM",
     ];
     let rows: Vec<Vec<String>> = platforms
         .iter()
@@ -24,7 +31,11 @@ fn main() {
                 format!(
                     "{}-way{}",
                     p.hw_threads_per_core,
-                    if p.hw_threads_active { "" } else { " (deactivated)" }
+                    if p.hw_threads_active {
+                        ""
+                    } else {
+                        " (deactivated)"
+                    }
                 ),
                 p.cores.to_string(),
                 format!(

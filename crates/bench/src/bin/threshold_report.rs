@@ -16,7 +16,14 @@ fn main() {
     let workers = p.usable_cores;
     let sweep = sweep_platform(&p, &cli.grid(), &[workers], cli.samples);
 
-    let headers = ["rule", "chosen nx", "exec(s)", "best nx", "best exec(s)", "penalty"];
+    let headers = [
+        "rule",
+        "chosen nx",
+        "exec(s)",
+        "best nx",
+        "best exec(s)",
+        "penalty",
+    ];
     let mut rows = Vec::new();
     for (rule, sel) in [
         (

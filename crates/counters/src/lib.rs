@@ -77,6 +77,7 @@ pub mod registry;
 pub mod sampler;
 pub mod snapshot;
 pub mod stats;
+pub mod sync;
 pub mod threads;
 pub mod value;
 
@@ -84,7 +85,7 @@ pub use derived::{average_of, ratio_of, DerivedCounter};
 pub use histogram::LogHistogram;
 pub use path::CounterPath;
 pub use raw::{RawCounter, Sharded};
-pub use registry::{Counter, Registry, RegistryError};
+pub use registry::{Counter, Registry, RegistryError, ScopedRegistry};
 pub use sampler::{Sample, Sampler};
 pub use snapshot::{Interval, Snapshot};
 pub use stats::SampleStats;
@@ -96,7 +97,7 @@ pub mod prelude {
     pub use crate::derived::{average_of, ratio_of, DerivedCounter};
     pub use crate::path::CounterPath;
     pub use crate::raw::{RawCounter, Sharded};
-    pub use crate::registry::{Counter, Registry, RegistryError};
+    pub use crate::registry::{Counter, Registry, RegistryError, ScopedRegistry};
     pub use crate::snapshot::{Interval, Snapshot};
     pub use crate::stats::SampleStats;
     pub use crate::value::{CounterValue, Unit};

@@ -8,8 +8,8 @@
 
 use crate::path::CounterPath;
 use crate::raw::{RawCounter, Sharded};
+use crate::sync::RwLock;
 use crate::value::{CounterValue, Unit};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -151,11 +151,7 @@ impl Registry {
     }
 
     /// Register an already-shared counter under `path`.
-    pub fn register_arc(
-        &self,
-        path: &str,
-        counter: Arc<dyn Counter>,
-    ) -> Result<(), RegistryError> {
+    pub fn register_arc(&self, path: &str, counter: Arc<dyn Counter>) -> Result<(), RegistryError> {
         let parsed: CounterPath = path
             .parse()
             .map_err(|_| RegistryError::BadPath(path.to_owned()))?;
@@ -200,16 +196,71 @@ impl Registry {
     }
 
     /// Sample every counter matching `pattern`, keyed by path.
-    pub fn query_all(
-        &self,
-        pattern: &str,
-    ) -> Result<Vec<(String, CounterValue)>, RegistryError> {
+    pub fn query_all(&self, pattern: &str) -> Result<Vec<(String, CounterValue)>, RegistryError> {
         let names = self.discover(pattern)?;
         let map = self.counters.read();
         Ok(names
             .into_iter()
             .filter_map(|n| map.get(&n).map(|c| (n.clone(), c.value())))
             .collect())
+    }
+
+    /// Remove the counter registered under `path`.
+    pub fn unregister(&self, path: &str) -> Result<(), RegistryError> {
+        let parsed: CounterPath = path
+            .parse()
+            .map_err(|_| RegistryError::BadPath(path.to_owned()))?;
+        let key = parsed.to_string();
+        let mut map = self.counters.write();
+        map.remove(&key)
+            .map(|_| ())
+            .ok_or(RegistryError::NotFound(key))
+    }
+
+    /// Remove every counter matching `pattern` (same matching rules as
+    /// [`discover`](Self::discover)); returns how many were removed.
+    /// Retiring a whole instance namespace — e.g. every counter of one
+    /// finished job — is `unregister_matching("/jobs{render#3}/*")`… except
+    /// that patterns carry wildcards in the *name*, so the idiomatic call
+    /// is via [`Registry::scope`] + [`ScopedRegistry::unregister_all`].
+    pub fn unregister_matching(&self, pattern: &str) -> Result<usize, RegistryError> {
+        let pat: CounterPath = pattern
+            .parse()
+            .map_err(|_| RegistryError::BadPath(pattern.to_owned()))?;
+        let mut map = self.counters.write();
+        let doomed: Vec<String> = map
+            .keys()
+            .filter(|k| {
+                k.parse::<CounterPath>()
+                    .map(|p| pat.matches(&p))
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        for k in &doomed {
+            map.remove(k);
+        }
+        Ok(doomed.len())
+    }
+
+    /// A registration handle scoped to one `object{instance}` namespace.
+    ///
+    /// Counters registered through the scope live under
+    /// `/{object}{{instance}}/<name>`; [`ScopedRegistry::unregister_all`]
+    /// retires the whole namespace in one call. This is how per-job
+    /// counters come and go without disturbing the long-lived scheduler
+    /// counters that share the registry.
+    pub fn scope(
+        self: &Arc<Self>,
+        object: impl Into<String>,
+        instance: impl Into<String>,
+    ) -> ScopedRegistry {
+        ScopedRegistry {
+            registry: Arc::clone(self),
+            object: object.into(),
+            instance: instance.into(),
+            keys: crate::sync::Mutex::new(Vec::new()),
+        }
     }
 
     /// All registered paths.
@@ -232,6 +283,74 @@ impl Registry {
     /// True if no counter has been registered.
     pub fn is_empty(&self) -> bool {
         self.counters.read().is_empty()
+    }
+}
+
+/// A handle that registers counters inside one `object{instance}`
+/// namespace and can retire them all at once. Created by
+/// [`Registry::scope`].
+pub struct ScopedRegistry {
+    registry: Arc<Registry>,
+    object: String,
+    instance: String,
+    keys: crate::sync::Mutex<Vec<String>>,
+}
+
+impl ScopedRegistry {
+    /// The full path `name` maps to inside this scope.
+    pub fn path_of(&self, name: &str) -> String {
+        format!("/{}{{{}}}/{}", self.object, self.instance, name)
+    }
+
+    /// The `object{instance}` prefix rendered as a path fragment (useful
+    /// for display).
+    pub fn prefix(&self) -> String {
+        format!("/{}{{{}}}", self.object, self.instance)
+    }
+
+    /// Register `counter` under `name` within the scope.
+    pub fn register(
+        &self,
+        name: &str,
+        counter: impl Counter + 'static,
+    ) -> Result<(), RegistryError> {
+        self.register_arc(name, Arc::new(counter))
+    }
+
+    /// Register an already-shared counter under `name` within the scope.
+    pub fn register_arc(&self, name: &str, counter: Arc<dyn Counter>) -> Result<(), RegistryError> {
+        let path = self.path_of(name);
+        self.registry.register_arc(&path, counter)?;
+        self.keys.lock().push(path);
+        Ok(())
+    }
+
+    /// Sample a counter registered in this scope by its short `name`.
+    pub fn query(&self, name: &str) -> Result<CounterValue, RegistryError> {
+        self.registry.query(&self.path_of(name))
+    }
+
+    /// Full paths of every counter registered through this scope, in
+    /// registration order.
+    pub fn paths(&self) -> Vec<String> {
+        self.keys.lock().clone()
+    }
+
+    /// Remove every counter registered through this scope; returns how
+    /// many were removed (counters already removed directly are skipped).
+    pub fn unregister_all(&self) -> usize {
+        let keys = std::mem::take(&mut *self.keys.lock());
+        keys.iter()
+            .filter(|k| self.registry.unregister(k).is_ok())
+            .count()
+    }
+}
+
+impl Drop for ScopedRegistry {
+    fn drop(&mut self) {
+        // A scope is the lifetime of its namespace: dropping it retires
+        // any counters still registered.
+        self.unregister_all();
     }
 }
 
@@ -334,6 +453,113 @@ mod tests {
             .query("/threads{locality#0/worker-thread#1}/count/cumulative")
             .unwrap();
         assert_eq!(w1.as_count(), 4);
+    }
+
+    #[test]
+    fn unregister_removes_and_reports_missing() {
+        let (reg, _) = reg_with_raw("/threads/count/stolen");
+        assert_eq!(reg.len(), 1);
+        reg.unregister("/threads/count/stolen").unwrap();
+        assert!(reg.is_empty());
+        assert!(matches!(
+            reg.unregister("/threads/count/stolen"),
+            Err(RegistryError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn unregister_matching_clears_a_namespace() {
+        let reg = Registry::new();
+        for p in [
+            "/jobs{render#1}/count/tasks",
+            "/jobs{render#1}/time/exec",
+            "/jobs{render#2}/count/tasks",
+            "/threads/count/cumulative",
+        ] {
+            reg.register(p, RawView::new(Arc::new(RawCounter::new()), Unit::Count))
+                .unwrap();
+        }
+        // An instance-qualified wildcard pattern hits only that instance.
+        let pat: CounterPath = "/jobs/ignored".parse().unwrap();
+        assert!(pat.instance.is_none());
+        let removed = reg.unregister_matching("/jobs{render#1}/*").unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(
+            reg.paths(),
+            vec![
+                "/jobs{render#2}/count/tasks".to_owned(),
+                "/threads/count/cumulative".to_owned()
+            ]
+        );
+    }
+
+    #[test]
+    fn scope_registers_queries_and_retires() {
+        let reg = Arc::new(Registry::new());
+        let scope = reg.scope("jobs", "tenant-a/render#3");
+        let c = Arc::new(RawCounter::new());
+        scope
+            .register("count/tasks", RawView::new(Arc::clone(&c), Unit::Count))
+            .unwrap();
+        scope
+            .register(
+                "time/cumulative-exec",
+                RawView::new(Arc::new(RawCounter::new()), Unit::Nanoseconds),
+            )
+            .unwrap();
+        c.add(5);
+        assert_eq!(
+            scope.path_of("count/tasks"),
+            "/jobs{tenant-a/render#3}/count/tasks"
+        );
+        // Visible through the scope and through the shared registry.
+        assert_eq!(scope.query("count/tasks").unwrap().as_count(), 5);
+        assert_eq!(
+            reg.query("/jobs{tenant-a/render#3}/count/tasks")
+                .unwrap()
+                .as_count(),
+            5
+        );
+        assert_eq!(scope.paths().len(), 2);
+        assert_eq!(scope.unregister_all(), 2);
+        assert!(reg.is_empty());
+        // Idempotent.
+        assert_eq!(scope.unregister_all(), 0);
+    }
+
+    #[test]
+    fn dropping_a_scope_retires_its_namespace() {
+        let reg = Arc::new(Registry::new());
+        {
+            let scope = reg.scope("jobs", "sweep#0");
+            scope
+                .register(
+                    "count/tasks",
+                    RawView::new(Arc::new(RawCounter::new()), Unit::Count),
+                )
+                .unwrap();
+            assert_eq!(reg.len(), 1);
+        }
+        assert!(reg.is_empty(), "drop retires the scope's counters");
+    }
+
+    #[test]
+    fn scopes_are_isolated_between_instances() {
+        let reg = Arc::new(Registry::new());
+        let a = reg.scope("jobs", "a#1");
+        let b = reg.scope("jobs", "b#2");
+        let ca = Arc::new(RawCounter::new());
+        let cb = Arc::new(RawCounter::new());
+        a.register("count/tasks", RawView::new(Arc::clone(&ca), Unit::Count))
+            .unwrap();
+        b.register("count/tasks", RawView::new(Arc::clone(&cb), Unit::Count))
+            .unwrap();
+        ca.add(1);
+        cb.add(2);
+        assert_eq!(a.query("count/tasks").unwrap().as_count(), 1);
+        assert_eq!(b.query("count/tasks").unwrap().as_count(), 2);
+        a.unregister_all();
+        assert_eq!(b.query("count/tasks").unwrap().as_count(), 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::registry::Registry;
 use crate::snapshot::Snapshot;
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -6,10 +6,8 @@
 //! provides a single-pass, numerically-stable (Welford) accumulator used by
 //! the experiment harness for its 10-sample runs.
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming mean/variance accumulator (Welford's algorithm).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SampleStats {
     n: u64,
     mean: f64,

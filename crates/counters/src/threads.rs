@@ -307,10 +307,7 @@ mod tests {
             q("/threads{locality#0/total}/time/average-phase-overhead"),
             125.0
         );
-        assert_eq!(
-            q("/threads{locality#0/total}/count/pending-accesses"),
-            5.0
-        );
+        assert_eq!(q("/threads{locality#0/total}/count/pending-accesses"), 5.0);
         assert_eq!(
             q("/threads{locality#0/worker-thread#1}/count/pending-misses"),
             3.0

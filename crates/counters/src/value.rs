@@ -1,13 +1,12 @@
 //! Typed counter samples.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Unit of a counter value. HPX encodes this implicitly in the counter
 /// name; we carry it explicitly so that derived counters and the metric
 /// layer can check dimensional sanity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Unit {
     /// Plain event count.
     Count,
@@ -32,7 +31,7 @@ impl fmt::Display for Unit {
 }
 
 /// One sample of a performance counter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CounterValue {
     /// The sampled value. Counts are exact integers represented in `f64`
     /// (counts in this project stay far below 2^53); times are nanoseconds;

@@ -5,11 +5,10 @@
 
 use crate::record::RunRecord;
 use grain_counters::SampleStats;
-use serde::{Deserialize, Serialize};
 
 /// Statistics of every metric of one experimental configuration, built
 /// from its repeated samples.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Aggregate {
     /// Samples accumulated.
     pub samples: u64,

@@ -6,10 +6,9 @@ use crate::equations;
 use grain_runtime::Runtime;
 use grain_sim::SimReport;
 use grain_stencil::StencilParams;
-use serde::{Deserialize, Serialize};
 
 /// Which engine produced a record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
     /// The native threaded runtime, measured in real time.
     Native,
@@ -27,7 +26,7 @@ impl std::fmt::Display for EngineKind {
 }
 
 /// Identification of a run: what was executed, where, how parallel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMeta {
     /// Engine that produced the sample.
     pub engine: EngineKind,
@@ -44,7 +43,7 @@ pub struct RunMeta {
 }
 
 /// One sample's raw measurements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
     /// Run identification.
     pub meta: RunMeta,
@@ -148,7 +147,12 @@ impl RunRecord {
 
     /// Eq. 6 for this sample given the matching 1-core task duration, s.
     pub fn wait_time_s(&self, td1_ns: f64) -> f64 {
-        equations::wait_time_s(self.task_duration_ns(), td1_ns, self.tasks, self.meta.workers)
+        equations::wait_time_s(
+            self.task_duration_ns(),
+            td1_ns,
+            self.tasks,
+            self.meta.workers,
+        )
     }
 }
 
@@ -194,8 +198,7 @@ mod tests {
         let report = simulate(&presets::sandy_bridge(), 2, &wl, &SimConfig::default());
         let rec = RunRecord::from_sim(&report, "Sandy Bridge", &params);
         // to + td share Σ across the same task count.
-        let reconstructed =
-            (rec.task_duration_ns() + rec.task_overhead_ns()) * rec.tasks as f64;
+        let reconstructed = (rec.task_duration_ns() + rec.task_overhead_ns()) * rec.tasks as f64;
         assert!((reconstructed - rec.sum_func_ns as f64).abs() < 1.0);
         // Eq. 4 in seconds is bounded by wall × workers.
         assert!(rec.thread_management_s() <= rec.wall_s * rec.meta.workers as f64 + 1e-9);

@@ -283,9 +283,8 @@ pub fn run_sweep(
         let np = engine.params_for(nx).np;
 
         // 1-core baseline for t_d1 (reused if 1 is part of the sweep).
-        let base_records: Vec<RunRecord> = (0..samples.min(3))
-            .map(|s| engine.run(nx, 1, s))
-            .collect();
+        let base_records: Vec<RunRecord> =
+            (0..samples.min(3)).map(|s| engine.run(nx, 1, s)).collect();
         let td1_ns = Aggregate::from_records(&base_records)
             .task_duration_ns
             .mean();
@@ -297,8 +296,7 @@ pub fn run_sweep(
             let agg = if w == 1 {
                 Aggregate::from_records(&base_records)
             } else {
-                let records: Vec<RunRecord> =
-                    (0..samples).map(|s| engine.run(nx, w, s)).collect();
+                let records: Vec<RunRecord> = (0..samples).map(|s| engine.run(nx, w, s)).collect();
                 Aggregate::from_records(&records)
             };
             if let Some(p) = progress {
@@ -334,17 +332,38 @@ pub mod grids {
     /// names (12 500, 31 250, 40 000, 78 125, …), log-spaced.
     pub fn paper() -> Vec<usize> {
         vec![
-            1_000, 1_600, 2_500, 4_000, 6_250, 10_000, 12_500, 20_000, 31_250, 40_000, 50_000,
-            78_125, 100_000, 160_000, 250_000, 400_000, 625_000, 1_000_000, 1_600_000, 2_500_000,
-            4_000_000, 6_250_000, 10_000_000, 25_000_000, 50_000_000, 100_000_000,
+            1_000,
+            1_600,
+            2_500,
+            4_000,
+            6_250,
+            10_000,
+            12_500,
+            20_000,
+            31_250,
+            40_000,
+            50_000,
+            78_125,
+            100_000,
+            160_000,
+            250_000,
+            400_000,
+            625_000,
+            1_000_000,
+            1_600_000,
+            2_500_000,
+            4_000_000,
+            6_250_000,
+            10_000_000,
+            25_000_000,
+            50_000_000,
+            100_000_000,
         ]
     }
 
     /// A fast grid for smoke runs: one size per decade.
     pub fn quick() -> Vec<usize> {
-        vec![
-            1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000,
-        ]
+        vec![1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000]
     }
 
     /// The fine-to-medium window of Fig. 6 (10 000 → 90 000).

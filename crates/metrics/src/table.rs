@@ -128,7 +128,10 @@ mod tests {
         let t = render(
             "t",
             &["a", "bbbb"],
-            &[vec!["100".into(), "2".into()], vec!["1".into(), "22".into()]],
+            &[
+                vec!["100".into(), "2".into()],
+                vec!["1".into(), "22".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         // Every data/header line has the same length.
@@ -147,7 +150,10 @@ mod tests {
     fn csv_escapes_specials() {
         let c = csv(
             &["a", "b"],
-            &[vec!["x,y".into(), "q\"t".into()], vec!["1".into(), "2".into()]],
+            &[
+                vec!["x,y".into(), "q\"t".into()],
+                vec!["1".into(), "2".into()],
+            ],
         );
         assert_eq!(c.lines().next().unwrap(), "a,b");
         assert!(c.contains("\"x,y\""));

@@ -111,8 +111,7 @@ mod tests {
     fn parallel_for_visits_every_index_once() {
         let rt = Runtime::with_workers(3);
         let n = 10_000;
-        let seen: Arc<Vec<AtomicUsize>> =
-            Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
+        let seen: Arc<Vec<AtomicUsize>> = Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
         let s = Arc::clone(&seen);
         parallel_for(&rt, 0..n, 128, move |i| {
             s[i].fetch_add(1, Ordering::Relaxed);

@@ -17,7 +17,7 @@
 //! which on a worker means "as part of the completing task's phase" —
 //! the same attribution HPX uses for cheap continuations.
 
-use parking_lot::{Condvar, Mutex};
+use grain_counters::sync::{Condvar, Mutex};
 use std::sync::Arc;
 
 /// Callback attached to a future.

@@ -1,0 +1,347 @@
+//! Task groups and cooperative cancellation.
+//!
+//! A [`TaskGroup`] collects a set of related tasks (typically: every task
+//! of one submitted *job*) and tracks them as a unit:
+//!
+//! * **in-flight accounting** — `enter`/`exit` pairs count members from
+//!   the moment they are promised (spawned, or reserved by a grouped
+//!   dataflow node whose inputs are not ready yet) until they terminate;
+//! * **a completion latch** — [`TaskGroup::wait`] and
+//!   [`TaskGroup::on_quiescent`] fire when the count reaches zero, so a
+//!   caller can join *one job* without draining the whole runtime;
+//! * **cooperative cancellation** — [`TaskGroup::cancel`] trips a shared
+//!   [`CancelToken`]; queued members are skipped at dispatch (their
+//!   bodies never run), reserved dataflow nodes are released without
+//!   spawning, and running tasks can poll
+//!   [`crate::runtime::TaskContext::is_cancelled`] to bail out early.
+//!   Nothing is preempted — cancellation is a request, honoured at the
+//!   next scheduling point, which is exactly the guarantee a cooperative
+//!   M:N runtime can make.
+//!
+//! Membership is inherited: a task spawned from inside a grouped task
+//! (via the [`crate::runtime::TaskContext`] spawn/async/dataflow API)
+//! joins its parent's group automatically, so a whole DAG spawned from a
+//! grouped root is covered by the root's group.
+
+use grain_counters::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cheaply clonable cooperative cancellation flag.
+///
+/// Tokens are shared: every clone observes the same flag. Task bodies
+/// receive the ambient token through
+/// [`crate::runtime::TaskContext::is_cancelled`] /
+/// [`crate::runtime::TaskContext::cancel_token`]; standalone tokens can
+/// be created for ad-hoc use.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the flag. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Has [`cancel`](Self::cancel) been called (on any clone)?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+#[derive(Default)]
+struct Hooks {
+    /// Callbacks to run when the group next becomes quiescent.
+    quiescent: Vec<Box<dyn FnOnce() + Send>>,
+    /// Callbacks to run when the group is cancelled (used by grouped
+    /// dataflow nodes to release their reservations).
+    cancel: Vec<Box<dyn FnOnce() + Send>>,
+}
+
+/// A group of related tasks with in-flight accounting, a completion
+/// latch, and cooperative cancellation. See the [module docs](self).
+pub struct TaskGroup {
+    token: CancelToken,
+    in_flight: AtomicUsize,
+    spawned: AtomicU64,
+    completed: AtomicU64,
+    skipped: AtomicU64,
+    exec_ns: AtomicU64,
+    hooks: Mutex<Hooks>,
+    cv: Condvar,
+}
+
+impl Default for TaskGroup {
+    fn default() -> Self {
+        Self {
+            token: CancelToken::new(),
+            in_flight: AtomicUsize::new(0),
+            spawned: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            exec_ns: AtomicU64::new(0),
+            hooks: Mutex::new(Hooks::default()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl TaskGroup {
+    /// A fresh, empty (hence quiescent), un-cancelled group.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// A clone of the group's cancellation token.
+    pub fn token(&self) -> CancelToken {
+        self.token.clone()
+    }
+
+    /// Request cancellation: trips the token and releases every
+    /// registered cancel hook (pending dataflow reservations). Idempotent;
+    /// already-running members finish their current phase.
+    pub fn cancel(&self) {
+        self.token.cancel();
+        let hooks = {
+            let mut g = self.hooks.lock();
+            std::mem::take(&mut g.cancel)
+        };
+        for h in hooks {
+            h();
+        }
+    }
+
+    /// Has the group been cancelled?
+    pub fn is_cancelled(&self) -> bool {
+        self.token.is_cancelled()
+    }
+
+    /// Members currently in flight (spawned or reserved, not yet
+    /// terminated).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Total members ever entered into the group.
+    pub fn spawned(&self) -> u64 {
+        self.spawned.load(Ordering::SeqCst)
+    }
+
+    /// Members that ran to completion.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::SeqCst)
+    }
+
+    /// Members skipped (never executed) because the group was cancelled.
+    pub fn skipped(&self) -> u64 {
+        self.skipped.load(Ordering::SeqCst)
+    }
+
+    /// Total execution nanoseconds accumulated by the group's phases.
+    pub fn exec_ns(&self) -> u64 {
+        self.exec_ns.load(Ordering::SeqCst)
+    }
+
+    /// Account a member into the group. Called by the grouped spawn
+    /// paths; pairs with an eventual [`exit_completed`](Self::exit_completed)
+    /// or [`exit_skipped`](Self::exit_skipped).
+    pub fn enter(&self) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.spawned.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Add execution time from one phase of a member task.
+    pub(crate) fn add_exec_ns(&self, ns: u64) {
+        self.exec_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// A member terminated after running to completion. Pairs with
+    /// [`enter`](Self::enter).
+    pub fn exit_completed(&self) {
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        self.exit();
+    }
+
+    /// A member was discarded without running (cancelled while queued, or
+    /// a dataflow reservation released by [`cancel`](Self::cancel)). Pairs
+    /// with [`enter`](Self::enter).
+    pub fn exit_skipped(&self) {
+        self.skipped.fetch_add(1, Ordering::SeqCst);
+        self.exit();
+    }
+
+    fn exit(&self) {
+        if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let hooks = {
+                let mut g = self.hooks.lock();
+                let hooks = std::mem::take(&mut g.quiescent);
+                self.cv.notify_all();
+                hooks
+            };
+            for h in hooks {
+                h();
+            }
+        }
+    }
+
+    /// Run `f` when the group next becomes quiescent (in-flight count
+    /// reaches zero). If the group is *already* quiescent, `f` runs
+    /// inline. `f` runs on whichever thread retires the last member —
+    /// keep it short.
+    pub fn on_quiescent(&self, f: impl FnOnce() + Send + 'static) {
+        {
+            let mut g = self.hooks.lock();
+            if self.in_flight.load(Ordering::SeqCst) != 0 {
+                g.quiescent.push(Box::new(f));
+                return;
+            }
+        }
+        f();
+    }
+
+    /// Run `f` when the group is cancelled; used by grouped dataflow
+    /// nodes to release reservations. If already cancelled, `f` runs
+    /// inline.
+    pub(crate) fn on_cancel(&self, f: impl FnOnce() + Send + 'static) {
+        {
+            let mut g = self.hooks.lock();
+            if !self.is_cancelled() {
+                g.cancel.push(Box::new(f));
+                return;
+            }
+        }
+        f();
+    }
+
+    /// Block until the group is quiescent (in-flight count zero). Unlike
+    /// [`crate::Runtime::wait_idle`] this joins *only this group's*
+    /// members — other jobs sharing the runtime keep it busy without
+    /// holding this wait up.
+    pub fn wait(&self) {
+        let mut g = self.hooks.lock();
+        while self.in_flight.load(Ordering::SeqCst) != 0 {
+            self.cv.wait_for(&mut g, Duration::from_millis(1));
+        }
+    }
+
+    /// [`wait`](Self::wait) with a deadline; returns `true` if the group
+    /// went quiescent, `false` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.hooks.lock();
+        while self.in_flight.load(Ordering::SeqCst) != 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let step = (deadline - now).min(Duration::from_millis(1));
+            self.cv.wait_for(&mut g, step);
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for TaskGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskGroup")
+            .field("in_flight", &self.in_flight())
+            .field("spawned", &self.spawned())
+            .field("completed", &self.completed())
+            .field("skipped", &self.skipped())
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_group_is_quiescent() {
+        let g = TaskGroup::new();
+        assert_eq!(g.in_flight(), 0);
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = Arc::clone(&fired);
+        g.on_quiescent(move || f.store(true, Ordering::SeqCst));
+        assert!(fired.load(Ordering::SeqCst), "fires inline when quiescent");
+        assert!(g.wait_timeout(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn latch_fires_when_last_member_exits() {
+        let g = TaskGroup::new();
+        g.enter();
+        g.enter();
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = Arc::clone(&fired);
+        g.on_quiescent(move || f.store(true, Ordering::SeqCst));
+        assert!(!fired.load(Ordering::SeqCst));
+        g.exit_completed();
+        assert!(!fired.load(Ordering::SeqCst));
+        g.exit_skipped();
+        assert!(fired.load(Ordering::SeqCst));
+        assert_eq!(g.completed(), 1);
+        assert_eq!(g.skipped(), 1);
+        assert_eq!(g.spawned(), 2);
+    }
+
+    #[test]
+    fn cancel_releases_hooks_once() {
+        let g = TaskGroup::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        g.on_cancel(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        g.cancel();
+        g.cancel(); // idempotent; hooks already drained
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        // Hooks registered after cancellation run inline.
+        let c = Arc::clone(&count);
+        g.on_cancel(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn wait_blocks_until_exit() {
+        let g = TaskGroup::new();
+        g.enter();
+        let g2 = Arc::clone(&g);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            g2.exit_completed();
+        });
+        g.wait();
+        assert_eq!(g.in_flight(), 0);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_expires() {
+        let g = TaskGroup::new();
+        g.enter();
+        assert!(!g.wait_timeout(Duration::from_millis(10)));
+        g.exit_completed();
+        assert!(g.wait_timeout(Duration::from_millis(10)));
+    }
+}

@@ -58,14 +58,17 @@
 
 pub mod algorithms;
 pub mod future;
+pub mod group;
+pub mod queue;
 pub mod runtime;
 pub mod scheduler;
 pub mod task;
 pub mod trace;
 mod worker;
 
-pub use grain_counters::threads::ThreadCounters;
 pub use future::{channel, when_all, Promise, SharedFuture};
+pub use grain_counters::threads::ThreadCounters;
+pub use group::{CancelToken, TaskGroup};
 pub use runtime::{Runtime, RuntimeConfig, TaskContext};
 pub use scheduler::{Provenance, Scheduler, SchedulerKind};
 pub use task::{Poll, Priority, TaskId, TaskState};

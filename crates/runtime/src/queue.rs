@@ -1,0 +1,155 @@
+//! A dependency-free MPMC FIFO used for every scheduler queue.
+//!
+//! The seed used `crossbeam::SegQueue` here; to keep tier-1 builds fully
+//! offline this is a std-only replacement with the same interface shape
+//! (`push`/`pop`/`len`/`is_empty`). Internally it is a `VecDeque` behind a
+//! [`Mutex`] plus a relaxed atomic length so the scheduler's frequent
+//! emptiness probes (steps 1–6 of the Fig. 1 search) never take the lock:
+//! a probe of an empty queue — the common case while stealing — costs one
+//! atomic load. The length is published *after* the enqueue and *before*
+//! the dequeue completes, so `len() > 0` implies a concurrent `pop` will
+//! see the element unless another consumer takes it first; spurious
+//! emptiness is tolerated by every caller (the worker loop re-probes).
+
+use grain_counters::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Unbounded multi-producer multi-consumer FIFO.
+#[derive(Debug)]
+pub struct MpmcQueue<T> {
+    items: Mutex<VecDeque<T>>,
+    len: AtomicUsize,
+}
+
+impl<T> Default for MpmcQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MpmcQueue<T> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self {
+            items: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueue at the back.
+    pub fn push(&self, value: T) {
+        let mut q = self.items.lock();
+        q.push_back(value);
+        // Publish under the lock so `len` never exceeds the true queue
+        // length observed by the next locker.
+        self.len.store(q.len(), Ordering::Release);
+    }
+
+    /// Dequeue from the front.
+    pub fn pop(&self) -> Option<T> {
+        // Fast path: skip the lock when the queue advertises empty.
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.items.lock();
+        let out = q.pop_front();
+        self.len.store(q.len(), Ordering::Release);
+        out
+    }
+
+    /// Number of queued items (racy, for load introspection).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when the queue is (momentarily) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = MpmcQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(MpmcQueue::new());
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        q.push(p * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while got.len() < 1000 {
+                        if let Some(v) = q.pop() {
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4000, "every pushed item popped exactly once");
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        // Single producer, single consumer: strict FIFO.
+        let q = Arc::new(MpmcQueue::new());
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            for i in 0..10_000u32 {
+                q2.push(i);
+            }
+        });
+        let mut last = None;
+        let mut seen = 0;
+        while seen < 10_000 {
+            if let Some(v) = q.pop() {
+                if let Some(prev) = last {
+                    assert!(v > prev, "FIFO violated: {v} after {prev}");
+                }
+                last = Some(v);
+                seen += 1;
+            }
+        }
+        t.join().unwrap();
+    }
+}

@@ -1,12 +1,13 @@
 //! The runtime: worker pool, spawn paths, task context, termination.
 
-use grain_counters::threads::ThreadCounters;
 use crate::future::{channel, when_all, SharedFuture};
+use crate::group::{CancelToken, TaskGroup};
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::task::{Poll, Priority, StagedTask, Task, TaskId, TaskIdAllocator, TaskState};
+use grain_counters::sync::{Condvar, Mutex};
+use grain_counters::threads::ThreadCounters;
 use grain_counters::Registry;
 use grain_topology::{host, NumaTopology};
-use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -137,8 +138,23 @@ impl Inner {
         priority: Priority,
         f: impl FnOnce(&mut TaskContext<'_>) + Send + 'static,
     ) -> TaskId {
+        self.spawn_once_in(None, priority, f)
+    }
+
+    /// Spawn a one-phase closure as a member of `group` (None: ungrouped).
+    /// Enters the group before the task becomes visible to the scheduler,
+    /// so the group can never look quiescent while the task is queued.
+    pub(crate) fn spawn_once_in(
+        self: &Arc<Self>,
+        group: Option<Arc<TaskGroup>>,
+        priority: Priority,
+        f: impl FnOnce(&mut TaskContext<'_>) + Send + 'static,
+    ) -> TaskId {
+        if let Some(g) = &group {
+            g.enter();
+        }
         let id = self.ids.allocate();
-        self.spawn_staged(StagedTask::once(id, priority, f));
+        self.spawn_staged(StagedTask::once(id, priority, f).with_group(group));
         id
     }
 
@@ -159,8 +175,20 @@ impl Inner {
         priority: Priority,
         f: impl FnOnce(&mut TaskContext<'_>) -> R + Send + 'static,
     ) -> SharedFuture<R> {
+        self.async_call_in(None, priority, f)
+    }
+
+    /// Grouped `hpx::async`. If the group is cancelled before dispatch the
+    /// body never runs and the future never becomes ready — join grouped
+    /// work through the group latch, not by blocking on its futures.
+    pub(crate) fn async_call_in<R: Send + Sync + 'static>(
+        self: &Arc<Self>,
+        group: Option<Arc<TaskGroup>>,
+        priority: Priority,
+        f: impl FnOnce(&mut TaskContext<'_>) -> R + Send + 'static,
+    ) -> SharedFuture<R> {
         let (promise, future) = channel();
-        self.spawn_once(priority, move |ctx| promise.set(f(ctx)));
+        self.spawn_once_in(group, priority, move |ctx| promise.set(f(ctx)));
         future
     }
 
@@ -178,12 +206,68 @@ impl Inner {
         T: Send + Sync + 'static,
         R: Send + Sync + 'static,
     {
+        self.dataflow_in(None, priority, deps, f)
+    }
+
+    /// Grouped `hpx::dataflow`. The node is accounted into the group
+    /// *immediately* as a reservation — before its inputs are ready — so
+    /// the group cannot look quiescent while part of its DAG is still
+    /// dormant. Cancellation releases dormant reservations without
+    /// spawning them: a cancel hook and the readiness continuation race on
+    /// a claim flag and exactly one side retires the node.
+    pub(crate) fn dataflow_in<T, R>(
+        self: &Arc<Self>,
+        group: Option<Arc<TaskGroup>>,
+        priority: Priority,
+        deps: &[SharedFuture<T>],
+        f: impl FnOnce(&mut TaskContext<'_>, Vec<Arc<T>>) -> R + Send + 'static,
+    ) -> SharedFuture<R>
+    where
+        T: Send + Sync + 'static,
+        R: Send + Sync + 'static,
+    {
         let (promise, future) = channel();
         let inner = Arc::clone(self);
-        when_all(deps).on_ready(move |vals| {
-            let vals: Vec<Arc<T>> = vals.iter().map(Arc::clone).collect();
-            inner.spawn_once(priority, move |ctx| promise.set(f(ctx, vals)));
-        });
+        match group {
+            None => {
+                when_all(deps).on_ready(move |vals| {
+                    let vals: Vec<Arc<T>> = vals.iter().map(Arc::clone).collect();
+                    inner.spawn_once(priority, move |ctx| promise.set(f(ctx, vals)));
+                });
+            }
+            Some(g) => {
+                g.enter();
+                let claimed = Arc::new(AtomicBool::new(false));
+                {
+                    let g = Arc::clone(&g);
+                    let claimed = Arc::clone(&claimed);
+                    g.clone().on_cancel(move || {
+                        if !claimed.swap(true, Ordering::SeqCst) {
+                            g.exit_skipped();
+                        }
+                    });
+                }
+                when_all(deps).on_ready(move |vals| {
+                    if claimed.swap(true, Ordering::SeqCst) {
+                        // The cancel hook won the race and already retired
+                        // this reservation.
+                        return;
+                    }
+                    if g.is_cancelled() {
+                        g.exit_skipped();
+                        return;
+                    }
+                    let vals: Vec<Arc<T>> = vals.iter().map(Arc::clone).collect();
+                    let id = inner.ids.allocate();
+                    // The reservation already entered the group; hand it to
+                    // the staged task without entering again.
+                    inner.spawn_staged(
+                        StagedTask::once(id, priority, move |ctx| promise.set(f(ctx, vals)))
+                            .with_group(Some(g)),
+                    );
+                });
+            }
+        }
         future
     }
 
@@ -223,9 +307,7 @@ impl Inner {
             return;
         }
         let mut g = self.parker.lock.lock();
-        self.parker
-            .cv
-            .wait_for(&mut g, self.config.park_timeout);
+        self.parker.cv.wait_for(&mut g, self.config.park_timeout);
         drop(g);
         self.parker.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
@@ -235,9 +317,7 @@ impl Inner {
     pub(crate) fn wait_idle(&self) {
         let mut g = self.idle.lock.lock();
         while self.in_flight.load(Ordering::SeqCst) != 0 {
-            self.idle
-                .cv
-                .wait_for(&mut g, Duration::from_millis(1));
+            self.idle.cv.wait_for(&mut g, Duration::from_millis(1));
         }
     }
 }
@@ -254,32 +334,40 @@ pub struct TaskContext<'a> {
     /// Zero-based phase number of this activation.
     pub phase: u64,
     pub(crate) suspend_registration: Option<Box<dyn FnOnce(Resumer) + Send>>,
+    pub(crate) group: Option<Arc<TaskGroup>>,
 }
 
 impl TaskContext<'_> {
-    /// Spawn a one-phase child task at normal priority.
+    /// Spawn a one-phase child task at normal priority. The child joins
+    /// this task's group, if any.
     pub fn spawn(&self, f: impl FnOnce(&mut TaskContext<'_>) + Send + 'static) -> TaskId {
-        self.inner.spawn_once(Priority::Normal, f)
+        self.inner
+            .spawn_once_in(self.group.clone(), Priority::Normal, f)
     }
 
-    /// Spawn a one-phase child task with an explicit priority.
+    /// Spawn a one-phase child task with an explicit priority. The child
+    /// joins this task's group, if any.
     pub fn spawn_with(
         &self,
         priority: Priority,
         f: impl FnOnce(&mut TaskContext<'_>) + Send + 'static,
     ) -> TaskId {
-        self.inner.spawn_once(priority, f)
+        self.inner.spawn_once_in(self.group.clone(), priority, f)
     }
 
-    /// `hpx::async` from inside a task.
+    /// `hpx::async` from inside a task. The child joins this task's
+    /// group, if any.
     pub fn async_call<R: Send + Sync + 'static>(
         &self,
         f: impl FnOnce(&mut TaskContext<'_>) -> R + Send + 'static,
     ) -> SharedFuture<R> {
-        self.inner.async_call(Priority::Normal, f)
+        self.inner
+            .async_call_in(self.group.clone(), Priority::Normal, f)
     }
 
-    /// `hpx::dataflow` from inside a task.
+    /// `hpx::dataflow` from inside a task. The node joins this task's
+    /// group, if any (reserved immediately — see
+    /// [`Runtime::dataflow_in`]).
     pub fn dataflow<T, R>(
         &self,
         deps: &[SharedFuture<T>],
@@ -289,7 +377,27 @@ impl TaskContext<'_> {
         T: Send + Sync + 'static,
         R: Send + Sync + 'static,
     {
-        self.inner.dataflow(Priority::Normal, deps, f)
+        self.inner
+            .dataflow_in(self.group.clone(), Priority::Normal, deps, f)
+    }
+
+    /// Has this task's group been cancelled? Long-running bodies should
+    /// poll this and return early — cancellation is cooperative; nothing
+    /// preempts an active phase. Always `false` for ungrouped tasks.
+    pub fn is_cancelled(&self) -> bool {
+        self.group.as_deref().is_some_and(TaskGroup::is_cancelled)
+    }
+
+    /// A clone of the ambient cancellation token (None for ungrouped
+    /// tasks) — pass it into nested closures or foreign threads that need
+    /// to observe cancellation.
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        self.group.as_deref().map(TaskGroup::token)
+    }
+
+    /// The group this task belongs to, if any.
+    pub fn group(&self) -> Option<&Arc<TaskGroup>> {
+        self.group.as_ref()
     }
 
     /// Arrange for this task to be resumed when `future` becomes ready,
@@ -481,6 +589,52 @@ impl Runtime {
         R: Send + Sync + 'static,
     {
         self.inner.dataflow(Priority::Normal, deps, f)
+    }
+
+    /// Spawn a one-phase task at `priority` as a member of `group`.
+    /// Children spawned from inside the task inherit the group; join the
+    /// whole tree with [`TaskGroup::wait`] and cancel it with
+    /// [`TaskGroup::cancel`].
+    pub fn spawn_in(
+        &self,
+        group: &Arc<TaskGroup>,
+        priority: Priority,
+        f: impl FnOnce(&mut TaskContext<'_>) + Send + 'static,
+    ) -> TaskId {
+        self.inner
+            .spawn_once_in(Some(Arc::clone(group)), priority, f)
+    }
+
+    /// `hpx::async` as a member of `group`. If the group is cancelled
+    /// before the task runs, the returned future never becomes ready —
+    /// join grouped work through the group latch rather than by blocking
+    /// on its futures.
+    pub fn async_in<R: Send + Sync + 'static>(
+        &self,
+        group: &Arc<TaskGroup>,
+        priority: Priority,
+        f: impl FnOnce(&mut TaskContext<'_>) -> R + Send + 'static,
+    ) -> SharedFuture<R> {
+        self.inner
+            .async_call_in(Some(Arc::clone(group)), priority, f)
+    }
+
+    /// `hpx::dataflow` as a member of `group`: the node is reserved in the
+    /// group immediately (even while dormant) and released — unspawned —
+    /// if the group is cancelled first.
+    pub fn dataflow_in<T, R>(
+        &self,
+        group: &Arc<TaskGroup>,
+        priority: Priority,
+        deps: &[SharedFuture<T>],
+        f: impl FnOnce(&mut TaskContext<'_>, Vec<Arc<T>>) -> R + Send + 'static,
+    ) -> SharedFuture<R>
+    where
+        T: Send + Sync + 'static,
+        R: Send + Sync + 'static,
+    {
+        self.inner
+            .dataflow_in(Some(Arc::clone(group)), priority, deps, f)
     }
 
     /// Block until every spawned task has terminated.

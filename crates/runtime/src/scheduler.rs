@@ -20,9 +20,9 @@
 //! `/threads/count/pending-accesses`/`-misses` counters of §II-A, shown in
 //! Figs. 9 and 10 to be a timestamp-free granularity signal.
 
-use grain_counters::threads::ThreadCounters;
+use crate::queue::MpmcQueue;
 use crate::task::{StagedTask, Task};
-use crossbeam::queue::SegQueue;
+use grain_counters::threads::ThreadCounters;
 use grain_topology::NumaTopology;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -45,16 +45,16 @@ pub enum SchedulerKind {
 #[derive(Debug, Default)]
 pub struct DualQueue {
     /// Staged task descriptions (cheap, not yet converted).
-    pub staged: SegQueue<StagedTask>,
+    pub staged: MpmcQueue<StagedTask>,
     /// Converted, runnable tasks.
-    pub pending: SegQueue<Task>,
+    pub pending: MpmcQueue<Task>,
 }
 
 impl DualQueue {
     fn new() -> Self {
         Self {
-            staged: SegQueue::new(),
-            pending: SegQueue::new(),
+            staged: MpmcQueue::new(),
+            pending: MpmcQueue::new(),
         }
     }
 
@@ -77,7 +77,7 @@ pub struct QueueSet {
     /// High-priority dual queues (shared; probed before everything).
     pub high: Vec<DualQueue>,
     /// The single low-priority queue.
-    pub low: SegQueue<StagedTask>,
+    pub low: MpmcQueue<StagedTask>,
     /// Round-robin cursor for spawns from external threads.
     rr: AtomicUsize,
     /// Round-robin cursor for high-priority spawns.
@@ -92,7 +92,7 @@ impl QueueSet {
         Self {
             workers: (0..workers).map(|_| DualQueue::new()).collect(),
             high: (0..high_queues.max(1)).map(|_| DualQueue::new()).collect(),
-            low: SegQueue::new(),
+            low: MpmcQueue::new(),
             rr: AtomicUsize::new(0),
             rr_high: AtomicUsize::new(0),
         }

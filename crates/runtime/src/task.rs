@@ -109,6 +109,9 @@ pub struct StagedTask {
     pub priority: Priority,
     /// The body to run.
     pub body: TaskBody,
+    /// Group membership (None: ungrouped). The group's in-flight count is
+    /// managed by the spawn paths, not by this struct.
+    pub group: Option<std::sync::Arc<crate::group::TaskGroup>>,
 }
 
 impl StagedTask {
@@ -127,6 +130,7 @@ impl StagedTask {
                 f(ctx);
                 Poll::Complete
             }),
+            group: None,
         }
     }
 
@@ -140,7 +144,14 @@ impl StagedTask {
             id,
             priority,
             body: Box::new(body),
+            group: None,
         }
+    }
+
+    /// Attach group membership (builder-style).
+    pub fn with_group(mut self, group: Option<std::sync::Arc<crate::group::TaskGroup>>) -> Self {
+        self.group = group;
+        self
     }
 }
 
@@ -171,6 +182,8 @@ pub struct Task {
     pub exec_ns: u64,
     /// The body.
     pub body: TaskBody,
+    /// Group membership (None: ungrouped).
+    pub group: Option<std::sync::Arc<crate::group::TaskGroup>>,
 }
 
 impl Task {
@@ -184,6 +197,7 @@ impl Task {
             phases: 0,
             exec_ns: 0,
             body: staged.body,
+            group: staged.group,
         }
     }
 

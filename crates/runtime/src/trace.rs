@@ -11,7 +11,7 @@
 //! Gantt rendering for small runs.
 
 use crate::task::TaskId;
-use parking_lot::Mutex;
+use grain_counters::sync::Mutex;
 use std::time::Instant;
 
 /// What happened.

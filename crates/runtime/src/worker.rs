@@ -41,6 +41,21 @@ pub(crate) fn worker_loop(inner: Arc<Inner>, w: usize) {
         match inner.scheduler.find_work(w, counters) {
             Some((mut task, prov)) => {
                 failed_rounds = 0;
+                if let Some(group) = task.group.as_ref().filter(|g| g.is_cancelled()) {
+                    // Cooperative cancellation: the body never runs. The
+                    // task still terminates (legally) so in-flight counts
+                    // — runtime-wide and group — stay balanced.
+                    let group = std::sync::Arc::clone(group);
+                    task.transition(TaskState::Active);
+                    task.transition(TaskState::Terminated);
+                    drop(task);
+                    inner.task_done();
+                    group.exit_skipped();
+                    // Dispatch bookkeeping stays honest: skipping is part
+                    // of the search-to-search interval, charged to Σt_func
+                    // by the next successful dispatch via `mark`.
+                    continue;
+                }
                 if inner.tracer.enabled() {
                     if let Some(victim) = steal_victim(&prov) {
                         inner
@@ -56,6 +71,7 @@ pub(crate) fn worker_loop(inner: Arc<Inner>, w: usize) {
                     task_id: task.id,
                     phase: task.phases,
                     suspend_registration: None,
+                    group: task.group.clone(),
                 };
                 let exec_start = Instant::now();
                 let poll = (task.body)(&mut ctx);
@@ -70,6 +86,9 @@ pub(crate) fn worker_loop(inner: Arc<Inner>, w: usize) {
                 counters.phases.incr(w);
                 counters.exec_ns.add(w, exec_ns);
                 counters.exec_histogram.record(exec_ns);
+                if let Some(g) = &task.group {
+                    g.add_exec_ns(exec_ns);
+                }
 
                 let now = Instant::now();
                 counters
@@ -81,8 +100,12 @@ pub(crate) fn worker_loop(inner: Arc<Inner>, w: usize) {
                     Poll::Complete => {
                         task.transition(TaskState::Terminated);
                         counters.tasks.incr(w);
+                        let group = task.group.take();
                         drop(task); // free the frame before signalling idle
                         inner.task_done();
+                        if let Some(g) = group {
+                            g.exit_completed();
+                        }
                     }
                     Poll::Yield => {
                         task.transition(TaskState::Pending);

@@ -1,0 +1,181 @@
+//! Behavioral tests for task groups and cooperative cancellation.
+
+use grain_runtime::{Priority, Runtime, TaskGroup};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn group_wait_joins_only_its_members() {
+    let rt = Runtime::with_workers(2);
+    // A long-running background task outside the group.
+    let blocker = Arc::new(AtomicUsize::new(0));
+    let b = Arc::clone(&blocker);
+    rt.spawn(move |_| {
+        while b.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+
+    let group = TaskGroup::new();
+    let done = Arc::new(AtomicUsize::new(0));
+    for _ in 0..50 {
+        let d = Arc::clone(&done);
+        rt.spawn_in(&group, Priority::Normal, move |_| {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    // Joining the group must not require the unrelated blocker to finish.
+    assert!(
+        group.wait_timeout(Duration::from_secs(5)),
+        "group latch must release while an unrelated task still runs"
+    );
+    assert_eq!(done.load(Ordering::SeqCst), 50);
+    assert_eq!(group.completed(), 50);
+    assert!(rt.in_flight() >= 1, "the blocker is still in flight");
+    blocker.store(1, Ordering::SeqCst);
+    rt.wait_idle();
+}
+
+#[test]
+fn children_inherit_their_parents_group() {
+    let rt = Runtime::with_workers(2);
+    let group = TaskGroup::new();
+    let done = Arc::new(AtomicUsize::new(0));
+    let d = Arc::clone(&done);
+    rt.spawn_in(&group, Priority::Normal, move |ctx| {
+        for _ in 0..10 {
+            let d = Arc::clone(&d);
+            ctx.spawn(move |ctx2| {
+                let d = Arc::clone(&d);
+                ctx2.spawn(move |_| {
+                    d.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }
+    });
+    assert!(group.wait_timeout(Duration::from_secs(5)));
+    assert_eq!(done.load(Ordering::SeqCst), 10);
+    // root + 10 children + 10 grandchildren
+    assert_eq!(group.spawned(), 21);
+    assert_eq!(group.completed(), 21);
+}
+
+#[test]
+fn cancellation_skips_queued_members() {
+    let rt = Runtime::with_workers(1);
+    let group = TaskGroup::new();
+    let ran = Arc::new(AtomicUsize::new(0));
+
+    // Occupy the lone worker so the grouped tasks stay queued.
+    let gate = Arc::new(AtomicUsize::new(0));
+    let g = Arc::clone(&gate);
+    rt.spawn(move |_| {
+        while g.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+    std::thread::sleep(Duration::from_millis(10));
+    for _ in 0..100 {
+        let r = Arc::clone(&ran);
+        rt.spawn_in(&group, Priority::Normal, move |_| {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    group.cancel();
+    gate.store(1, Ordering::SeqCst);
+    assert!(group.wait_timeout(Duration::from_secs(5)));
+    assert_eq!(
+        ran.load(Ordering::SeqCst),
+        0,
+        "no queued member may run after cancel"
+    );
+    assert_eq!(group.skipped(), 100);
+    rt.wait_idle();
+}
+
+#[test]
+fn cancellation_releases_dormant_dataflow_nodes() {
+    let rt = Runtime::with_workers(2);
+    let group = TaskGroup::new();
+    let ran = Arc::new(AtomicUsize::new(0));
+
+    // A dataflow node whose dependency never becomes ready while the
+    // group lives.
+    let (_promise, dep) = grain_runtime::channel::<u64>();
+    let r = Arc::clone(&ran);
+    let _out = rt.dataflow_in(&group, Priority::Normal, &[dep], move |_, _| {
+        r.fetch_add(1, Ordering::SeqCst);
+    });
+    assert_eq!(group.in_flight(), 1, "dormant node holds a reservation");
+    assert!(
+        !group.wait_timeout(Duration::from_millis(20)),
+        "group must not be quiescent while the node is dormant"
+    );
+    group.cancel();
+    assert!(
+        group.wait_timeout(Duration::from_secs(5)),
+        "cancel must release the dormant reservation"
+    );
+    assert_eq!(ran.load(Ordering::SeqCst), 0);
+    assert_eq!(group.skipped(), 1);
+}
+
+#[test]
+fn running_tasks_observe_cancellation_cooperatively() {
+    let rt = Runtime::with_workers(2);
+    let group = TaskGroup::new();
+    let bailed = Arc::new(AtomicUsize::new(0));
+    let b = Arc::clone(&bailed);
+    rt.spawn_in(&group, Priority::Normal, move |ctx| {
+        // Long-running body polling for cancellation.
+        for _ in 0..10_000 {
+            if ctx.is_cancelled() {
+                b.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+    std::thread::sleep(Duration::from_millis(10));
+    group.cancel();
+    assert!(
+        group.wait_timeout(Duration::from_secs(5)),
+        "polling body must observe the token and return"
+    );
+    assert_eq!(bailed.load(Ordering::SeqCst), 1);
+    // A completed-but-bailed task counts as completed, not skipped.
+    assert_eq!(group.completed(), 1);
+}
+
+#[test]
+fn grouped_dataflow_chain_completes_and_accounts() {
+    let rt = Runtime::with_workers(2);
+    let group = TaskGroup::new();
+    let mut f = rt.async_in(&group, Priority::Normal, |_| 0u64);
+    for _ in 0..32 {
+        f = rt.dataflow_in(&group, Priority::Normal, &[f], |_, v| *v[0] + 1);
+    }
+    assert_eq!(*f.get(), 32);
+    assert!(group.wait_timeout(Duration::from_secs(5)));
+    assert_eq!(group.spawned(), 33);
+    assert_eq!(group.completed(), 33);
+    assert_eq!(group.skipped(), 0);
+    assert!(group.exec_ns() > 0 || group.completed() > 0);
+}
+
+#[test]
+fn cancel_token_outlives_context() {
+    let rt = Runtime::with_workers(1);
+    let group = TaskGroup::new();
+    let (tx, rx) = std::sync::mpsc::channel();
+    rt.spawn_in(&group, Priority::High, move |ctx| {
+        tx.send(ctx.cancel_token().expect("grouped task has a token"))
+            .unwrap();
+    });
+    let token = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert!(!token.is_cancelled());
+    group.cancel();
+    assert!(token.is_cancelled(), "token clones observe group cancel");
+    rt.wait_idle();
+}

@@ -140,16 +140,14 @@ fn suspension_and_resume() {
     let result = Arc::new(AtomicUsize::new(0));
     let res = Arc::clone(&result);
     let gate2 = gate.clone();
-    r.spawn_phased(Priority::Normal, move |ctx| {
-        match gate2.try_get() {
-            Some(v) => {
-                res.store(*v as usize, Ordering::SeqCst);
-                Poll::Complete
-            }
-            None => {
-                ctx.suspend_until(&gate2);
-                Poll::Suspend
-            }
+    r.spawn_phased(Priority::Normal, move |ctx| match gate2.try_get() {
+        Some(v) => {
+            res.store(*v as usize, Ordering::SeqCst);
+            Poll::Complete
+        }
+        None => {
+            ctx.suspend_until(&gate2);
+            Poll::Suspend
         }
     });
     std::thread::sleep(Duration::from_millis(20));
@@ -166,7 +164,7 @@ fn high_priority_runs_before_backlog() {
     // One worker, seeded with a slow backlog; a high-priority task spawned
     // afterwards must run before the rest of the backlog drains.
     let r = rt(1);
-    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let order = Arc::new(grain_runtime::grain_counters::sync::Mutex::new(Vec::new()));
     // Block the worker briefly so the backlog stays queued.
     for i in 0..50 {
         let o = Arc::clone(&order);
@@ -192,7 +190,7 @@ fn high_priority_runs_before_backlog() {
 #[test]
 fn low_priority_runs_last_on_single_worker() {
     let r = rt(1);
-    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let order = Arc::new(grain_runtime::grain_counters::sync::Mutex::new(Vec::new()));
     // Occupy the single worker with a busy gate task so everything below
     // queues up before anything runs.
     let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -415,7 +413,11 @@ fn queue_length_counters_reflect_backlog() {
         .registry()
         .query("/threads{locality#0/total}/count/staged-queue-length")
         .unwrap();
-    assert!(staged.value >= 20.0, "backlog not visible: {}", staged.value);
+    assert!(
+        staged.value >= 20.0,
+        "backlog not visible: {}",
+        staged.value
+    );
     release.store(true, Ordering::SeqCst);
     r.wait_idle();
     let staged = r
@@ -462,14 +464,20 @@ fn busy_saturated_run_has_low_idle_rate() {
         r.spawn(|_| {
             let mut x = 0u64;
             for i in 0..40_000u64 {
-                x = x.wrapping_add(i * i);
+                // black_box keeps release builds from collapsing the loop
+                // into a closed form (which would shrink tasks to ~0 ns
+                // and make the idle-rate meaningless).
+                x = x.wrapping_add(std::hint::black_box(i) * i);
             }
             std::hint::black_box(x);
         });
     }
     r.wait_idle();
     let ir = r.counters().idle_rate();
-    assert!(ir < 0.35, "saturated run should have low idle-rate, got {ir}");
+    assert!(
+        ir < 0.35,
+        "saturated run should have low idle-rate, got {ir}"
+    );
 }
 
 #[test]
@@ -559,7 +567,10 @@ fn raising_the_throttle_reactivates_workers() {
     r.wait_idle();
     let per_worker = r.counters().tasks.values();
     let active = per_worker.iter().filter(|&&n| n > 0).count();
-    assert!(active >= 2, "reactivated workers should run tasks: {per_worker:?}");
+    assert!(
+        active >= 2,
+        "reactivated workers should run tasks: {per_worker:?}"
+    );
     assert_eq!(per_worker.iter().sum::<u64>(), 2050);
 }
 

@@ -1,0 +1,481 @@
+//! Jobs: first-class units of submitted work.
+//!
+//! A *job* wraps a whole task DAG — a stencil run, a `parallel_for`
+//! sweep, an arbitrary dataflow graph — behind one identity with a
+//! tenant, a priority, an optional deadline, and a lifecycle:
+//!
+//! ```text
+//! Queued ──▶ Admitted ──▶ Running ──▶ Completed
+//!    │                       ├──────▶ Cancelled   (JobHandle::cancel)
+//!    │                       └──────▶ TimedOut    (deadline expiry)
+//!    └──────────────────────────────▶ Rejected    (admission control)
+//! ```
+//!
+//! Every task the job's root spawns (directly or transitively, through
+//! the [`grain_runtime::TaskContext`] API) joins the job's
+//! [`grain_runtime::TaskGroup`], which is what makes `wait`, `cancel`
+//! and deadlines work per job instead of per runtime.
+
+use crate::admission::AdmissionError;
+use crate::counters::JobCounters;
+use grain_counters::sync::{Condvar, Mutex};
+use grain_counters::{CounterValue, RegistryError};
+use grain_runtime::{Priority, TaskContext, TaskGroup};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Unique job identifier, allocated at submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Job scheduling class, mapped onto the runtime's Priority Local-FIFO
+/// queues (§I-B of the paper: high-priority dual queues, per-worker
+/// normal queues, one low-priority queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JobPriority {
+    /// Latency-sensitive; tasks go to the high-priority dual queues.
+    Interactive,
+    /// Default throughput class; per-worker normal queues.
+    #[default]
+    Batch,
+    /// Runs only when nothing else needs the cores; the low queue.
+    BestEffort,
+}
+
+impl JobPriority {
+    /// The runtime task priority this class maps to.
+    pub fn task_priority(self) -> Priority {
+        match self {
+            JobPriority::Interactive => Priority::High,
+            JobPriority::Batch => Priority::Normal,
+            JobPriority::BestEffort => Priority::Low,
+        }
+    }
+}
+
+/// Job lifecycle states. Terminal states are `Completed`, `Cancelled`,
+/// `TimedOut` and `Rejected`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobState {
+    /// Accepted into a tenant queue, waiting for admission.
+    Queued,
+    /// Past admission control; budget reserved, about to start.
+    Admitted,
+    /// Root task handed to the runtime; the DAG is executing.
+    Running,
+    /// Every task of the job terminated normally.
+    Completed,
+    /// Cancelled by [`JobHandle::cancel`]; queued members were skipped.
+    Cancelled,
+    /// The deadline expired before the job finished.
+    TimedOut,
+    /// Refused by admission control (queue bound or shutdown).
+    Rejected,
+}
+
+impl JobState {
+    /// True for the four states a job can never leave.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Cancelled | JobState::TimedOut | JobState::Rejected
+        )
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobState::Queued => "queued",
+            JobState::Admitted => "admitted",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Cancelled => "cancelled",
+            JobState::TimedOut => "timed-out",
+            JobState::Rejected => "rejected",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything a client declares about a job up front. Build with
+/// [`JobSpec::new`] and the chainable setters.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable job name; combined with the id into the counter
+    /// instance `name#id`, so names need not be unique.
+    pub name: String,
+    /// The tenant this job is accounted to (fair-share bucket).
+    pub tenant: String,
+    /// Scheduling class.
+    pub priority: JobPriority,
+    /// Wall-clock budget measured from submission; on expiry the job is
+    /// cancelled and finishes as [`JobState::TimedOut`].
+    pub deadline: Option<Duration>,
+    /// The client's estimate of how many tasks the job will run,
+    /// used by admission control as the job's budget cost (clamped to a
+    /// minimum of 1). A bad estimate degrades fairness, not correctness.
+    pub estimated_tasks: u64,
+}
+
+impl JobSpec {
+    /// A batch-priority spec with no deadline and a cost estimate of 1.
+    pub fn new(name: impl Into<String>, tenant: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tenant: tenant.into(),
+            priority: JobPriority::default(),
+            deadline: None,
+            estimated_tasks: 1,
+        }
+    }
+
+    /// Set the scheduling class.
+    #[must_use]
+    pub fn priority(mut self, p: JobPriority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Set the deadline (measured from submission).
+    #[must_use]
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set the estimated task count used as the admission cost.
+    #[must_use]
+    pub fn estimated_tasks(mut self, n: u64) -> Self {
+        self.estimated_tasks = n;
+        self
+    }
+}
+
+/// The root closure of a job: runs as the job's first task; everything
+/// it spawns through the context joins the job's group.
+pub type JobBody = Box<dyn FnOnce(&mut TaskContext<'_>) + Send>;
+
+/// Shared state of one job. Internal; clients hold a [`JobHandle`].
+pub(crate) struct JobCore {
+    pub(crate) id: JobId,
+    pub(crate) spec: JobSpec,
+    pub(crate) group: Arc<TaskGroup>,
+    pub(crate) counters: JobCounters,
+    /// Admission budget cost (`spec.estimated_tasks.max(1)`).
+    pub(crate) cost: u64,
+    state: Mutex<JobState>,
+    state_cv: Condvar,
+    pub(crate) cancel_requested: AtomicBool,
+    pub(crate) timed_out: AtomicBool,
+    pub(crate) rejection: Mutex<Option<AdmissionError>>,
+    pub(crate) submitted_at: Instant,
+    pub(crate) admitted_at: Mutex<Option<Instant>>,
+    pub(crate) finished_at: Mutex<Option<Instant>>,
+    /// The root closure, taken by the dispatcher at start.
+    pub(crate) body: Mutex<Option<JobBody>>,
+}
+
+impl JobCore {
+    /// `group` must be the same group `counters` was registered against,
+    /// or the job's counter surface will read someone else's tasks.
+    pub(crate) fn new(
+        id: JobId,
+        spec: JobSpec,
+        group: Arc<TaskGroup>,
+        counters: JobCounters,
+        body: JobBody,
+    ) -> Self {
+        let cost = spec.estimated_tasks.max(1);
+        Self {
+            id,
+            spec,
+            group,
+            counters,
+            cost,
+            state: Mutex::new(JobState::Queued),
+            state_cv: Condvar::new(),
+            cancel_requested: AtomicBool::new(false),
+            timed_out: AtomicBool::new(false),
+            rejection: Mutex::new(None),
+            submitted_at: Instant::now(),
+            admitted_at: Mutex::new(None),
+            finished_at: Mutex::new(None),
+            body: Mutex::new(Some(body)),
+        }
+    }
+
+    /// The counter instance this job registers under: `name#id`.
+    pub(crate) fn instance(&self) -> String {
+        format!("{}#{}", self.spec.name, self.id.0)
+    }
+
+    pub(crate) fn state(&self) -> JobState {
+        *self.state.lock()
+    }
+
+    /// Unconditional transition (legality is the service's business);
+    /// wakes waiters.
+    pub(crate) fn set_state(&self, to: JobState) {
+        let mut g = self.state.lock();
+        *g = to;
+        self.state_cv.notify_all();
+    }
+
+    /// Transition to terminal state `to` unless already terminal. Returns
+    /// true if this call performed the transition — the winner does the
+    /// terminal bookkeeping (counters, budget release) exactly once.
+    pub(crate) fn finish(&self, to: JobState) -> bool {
+        let won = self.finish_quiet(to);
+        if won {
+            self.notify_waiters();
+        }
+        won
+    }
+
+    /// [`finish`](Self::finish) without waking waiters: the winner does
+    /// its bookkeeping first and calls
+    /// [`notify_waiters`](Self::notify_waiters) after, so a returning
+    /// [`JobHandle::wait`] always observes fully settled counters.
+    pub(crate) fn finish_quiet(&self, to: JobState) -> bool {
+        debug_assert!(to.is_terminal());
+        let mut g = self.state.lock();
+        if g.is_terminal() {
+            return false;
+        }
+        *g = to;
+        *self.finished_at.lock() = Some(Instant::now());
+        true
+    }
+
+    /// Wake everyone blocked in `wait_terminal*`.
+    pub(crate) fn notify_waiters(&self) {
+        let _g = self.state.lock();
+        self.state_cv.notify_all();
+    }
+
+    pub(crate) fn wait_terminal(&self) -> JobState {
+        let mut g = self.state.lock();
+        while !g.is_terminal() {
+            self.state_cv.wait(&mut g);
+        }
+        *g
+    }
+
+    pub(crate) fn wait_terminal_timeout(&self, timeout: Duration) -> Option<JobState> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.state.lock();
+        while !g.is_terminal() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.state_cv.wait_for(&mut g, deadline - now);
+        }
+        Some(*g)
+    }
+
+    /// Submission-to-finish latency (up to now for non-terminal jobs).
+    pub(crate) fn turnaround(&self) -> Duration {
+        self.finished_at
+            .lock()
+            .map_or_else(|| self.submitted_at.elapsed(), |t| t - self.submitted_at)
+    }
+
+    pub(crate) fn outcome_now(&self, state: JobState) -> JobOutcome {
+        JobOutcome {
+            state,
+            tasks_completed: self.group.completed(),
+            tasks_skipped: self.group.skipped(),
+            tasks_spawned: self.group.spawned(),
+            exec_ns: self.group.exec_ns(),
+            turnaround: self.turnaround(),
+        }
+    }
+}
+
+/// Final report of a finished job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// The terminal state.
+    pub state: JobState,
+    /// Tasks that ran to completion.
+    pub tasks_completed: u64,
+    /// Tasks skipped by cancellation (queued members never executed and
+    /// dataflow nodes released before spawning).
+    pub tasks_skipped: u64,
+    /// Total tasks ever entered into the job's group.
+    pub tasks_spawned: u64,
+    /// Cumulative execution time over the job's task phases.
+    pub exec_ns: u64,
+    /// Submission-to-finish wall-clock time.
+    pub turnaround: Duration,
+}
+
+/// Client-side handle to a submitted job. Cheap to clone; the job's
+/// counters stay registered as long as any handle (or the service's own
+/// reference, while the job is live) exists.
+#[derive(Clone)]
+pub struct JobHandle {
+    pub(crate) core: Arc<JobCore>,
+}
+
+impl JobHandle {
+    /// The job's id.
+    pub fn id(&self) -> JobId {
+        self.core.id
+    }
+
+    /// The job's name as submitted.
+    pub fn name(&self) -> &str {
+        &self.core.spec.name
+    }
+
+    /// The tenant the job is accounted to.
+    pub fn tenant(&self) -> &str {
+        &self.core.spec.tenant
+    }
+
+    /// The counter instance (`name#id`) under `/jobs{...}`.
+    pub fn instance(&self) -> String {
+        self.core.instance()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.core.state()
+    }
+
+    /// Why admission refused the job, if it was rejected.
+    pub fn rejection(&self) -> Option<AdmissionError> {
+        self.core.rejection.lock().clone()
+    }
+
+    /// Request cooperative cancellation. Queued jobs finish as
+    /// [`JobState::Cancelled`] immediately; running jobs stop at the next
+    /// scheduling point (queued tasks are skipped, dormant dataflow nodes
+    /// released, active phases run to their end). Idempotent; has no
+    /// effect on jobs already in a terminal state.
+    pub fn cancel(&self) {
+        self.core.cancel_requested.store(true, Ordering::SeqCst);
+        let state = self.core.state();
+        if state == JobState::Queued {
+            // Not yet started: no tasks to drain; settle it here. The
+            // dispatcher discards the queue entry when it reaches it.
+            self.core.group.cancel();
+            self.core.finish(JobState::Cancelled);
+            return;
+        }
+        if !state.is_terminal() {
+            self.core.group.cancel();
+        }
+    }
+
+    /// Block until the job reaches a terminal state; returns the outcome.
+    pub fn wait(&self) -> JobOutcome {
+        let state = self.core.wait_terminal();
+        self.core.outcome_now(state)
+    }
+
+    /// [`wait`](Self::wait) with a timeout; `None` if still running.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobOutcome> {
+        self.core
+            .wait_terminal_timeout(timeout)
+            .map(|s| self.core.outcome_now(s))
+    }
+
+    /// The outcome if the job already finished, else `None`.
+    pub fn outcome(&self) -> Option<JobOutcome> {
+        let state = self.core.state();
+        state.is_terminal().then(|| self.core.outcome_now(state))
+    }
+
+    /// Full registry paths of this job's counters
+    /// (`/jobs{name#id}/threads/...`).
+    pub fn counter_paths(&self) -> Vec<String> {
+        self.core.counters.paths()
+    }
+
+    /// Sample one of this job's counters by short name, e.g.
+    /// `threads/count/cumulative`.
+    pub fn query_counter(&self, name: &str) -> Result<CounterValue, RegistryError> {
+        self.core.counters.query(name)
+    }
+}
+
+impl fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.core.id)
+            .field("name", &self.core.spec.name)
+            .field("tenant", &self.core.spec.tenant)
+            .field("state", &self.core.state())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priorities_map_onto_runtime_queues() {
+        assert_eq!(JobPriority::Interactive.task_priority(), Priority::High);
+        assert_eq!(JobPriority::Batch.task_priority(), Priority::Normal);
+        assert_eq!(JobPriority::BestEffort.task_priority(), Priority::Low);
+        assert_eq!(JobPriority::default(), JobPriority::Batch);
+    }
+
+    #[test]
+    fn terminal_states() {
+        for s in [
+            JobState::Completed,
+            JobState::Cancelled,
+            JobState::TimedOut,
+            JobState::Rejected,
+        ] {
+            assert!(s.is_terminal(), "{s}");
+        }
+        for s in [JobState::Queued, JobState::Admitted, JobState::Running] {
+            assert!(!s.is_terminal(), "{s}");
+        }
+    }
+
+    #[test]
+    fn spec_builder_chains() {
+        let spec = JobSpec::new("render", "tenant-a")
+            .priority(JobPriority::Interactive)
+            .deadline(Duration::from_secs(1))
+            .estimated_tasks(64);
+        assert_eq!(spec.name, "render");
+        assert_eq!(spec.tenant, "tenant-a");
+        assert_eq!(spec.priority, JobPriority::Interactive);
+        assert_eq!(spec.deadline, Some(Duration::from_secs(1)));
+        assert_eq!(spec.estimated_tasks, 64);
+    }
+
+    #[test]
+    fn finish_is_single_shot() {
+        let reg = Arc::new(grain_counters::Registry::new());
+        let group = TaskGroup::new();
+        let counters = JobCounters::register(&reg, "t#0", &group).unwrap();
+        let core = JobCore::new(
+            JobId(0),
+            JobSpec::new("t", "a"),
+            group,
+            counters,
+            Box::new(|_| {}),
+        );
+        assert!(core.finish(JobState::Cancelled));
+        assert!(!core.finish(JobState::Completed), "already terminal");
+        assert_eq!(core.state(), JobState::Cancelled);
+    }
+}

@@ -1,0 +1,384 @@
+//! The job service: submission, dispatch, deadlines, shutdown.
+//!
+//! A [`JobService`] owns a [`Runtime`] and a dispatcher thread. Clients
+//! [`submit`](JobService::submit) jobs; the dispatcher admits them from
+//! per-tenant queues in weighted fair-share order whenever the task
+//! budget allows, hands each job's root task to the runtime inside the
+//! job's [`grain_runtime::TaskGroup`], watches deadlines, and settles
+//! terminal states from the group's quiescence latch. Nothing in the
+//! serving layer touches the runtime's hot dispatch path — jobs meter
+//! themselves through their groups.
+
+use crate::admission::{AdmissionError, FairQueues};
+use crate::counters::{JobCounters, ServiceCounters};
+use crate::job::{JobCore, JobHandle, JobId, JobSpec, JobState};
+use grain_counters::sync::{Condvar, Mutex};
+use grain_counters::Registry;
+use grain_runtime::{Runtime, RuntimeConfig, TaskContext};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub use crate::admission::AdmissionConfig;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Configuration of the underlying task runtime.
+    pub runtime: RuntimeConfig,
+    /// Admission control parameters.
+    pub admission: AdmissionConfig,
+    /// Dispatcher tick: the upper bound on how long admission or a
+    /// deadline can lag the event that enabled it.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            runtime: RuntimeConfig::default(),
+            admission: AdmissionConfig::default(),
+            poll_interval: Duration::from_micros(500),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Config with `workers` runtime workers and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            runtime: RuntimeConfig::with_workers(workers),
+            ..Self::default()
+        }
+    }
+}
+
+struct Shared {
+    runtime: Runtime,
+    registry: Arc<Registry>,
+    counters: ServiceCounters,
+    queues: Mutex<FairQueues>,
+    /// Wakes the dispatcher on submit, job completion, and shutdown.
+    dispatch_cv: Condvar,
+    /// Sum of admitted (unfinished) jobs' costs.
+    budget_in_use: AtomicU64,
+    /// Jobs admitted and not yet terminal, for deadline scanning.
+    running: Mutex<Vec<Arc<JobCore>>>,
+    ids: AtomicU64,
+    shutdown: AtomicBool,
+    config: ServiceConfig,
+}
+
+/// A multi-tenant job scheduler over one shared [`Runtime`]. See the
+/// [crate docs](crate) for the lifecycle and an example.
+pub struct JobService {
+    shared: Arc<Shared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl JobService {
+    /// Start a service (and its runtime and dispatcher thread).
+    pub fn new(config: ServiceConfig) -> Self {
+        let registry = Arc::new(Registry::new());
+        let runtime = Runtime::new(config.runtime.clone());
+        let queues = Mutex::new(FairQueues::new());
+        let shared = Arc::new_cyclic(|weak: &std::sync::Weak<Shared>| {
+            let w1 = weak.clone();
+            let w2 = weak.clone();
+            let counters = ServiceCounters::register(
+                &registry,
+                move || {
+                    w1.upgrade()
+                        .map_or(0.0, |s: Arc<Shared>| s.queues.lock().len() as f64)
+                },
+                move || {
+                    w2.upgrade().map_or(0.0, |s: Arc<Shared>| {
+                        s.budget_in_use.load(Ordering::SeqCst) as f64
+                    })
+                },
+            )
+            .expect("fresh registry cannot collide");
+            Shared {
+                runtime,
+                registry: Arc::clone(&registry),
+                counters,
+                queues,
+                dispatch_cv: Condvar::new(),
+                budget_in_use: AtomicU64::new(0),
+                running: Mutex::new(Vec::new()),
+                ids: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                config,
+            }
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("grain-service-dispatcher".into())
+                .spawn(move || dispatcher_loop(shared))
+                .expect("failed to spawn dispatcher thread")
+        };
+        Self {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Service with `workers` runtime workers and default settings.
+    pub fn with_workers(workers: usize) -> Self {
+        Self::new(ServiceConfig::with_workers(workers))
+    }
+
+    /// Submit a job. `body` runs as the job's root task; every task it
+    /// spawns through its [`TaskContext`] joins the job. The returned
+    /// handle is live immediately — a rejected submission comes back
+    /// already in [`JobState::Rejected`] with
+    /// [`JobHandle::rejection`] set.
+    pub fn submit(
+        &self,
+        spec: JobSpec,
+        body: impl FnOnce(&mut TaskContext<'_>) + Send + 'static,
+    ) -> JobHandle {
+        let shared = &self.shared;
+        let id = JobId(shared.ids.fetch_add(1, Ordering::Relaxed));
+        shared.counters.submitted.incr();
+        let instance = format!("{}#{}", spec.name, id.0);
+        let weight = shared.config.admission.weight_of(&spec.tenant);
+        let group = grain_runtime::TaskGroup::new();
+        // Each (name, id) instance is unique, so this cannot collide.
+        let counters = JobCounters::register(&shared.registry, &instance, &group)
+            .expect("unique job instance cannot collide");
+        let core = Arc::new(JobCore::new(id, spec, group, counters, Box::new(body)));
+        let handle = JobHandle {
+            core: Arc::clone(&core),
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            self.reject(&core, AdmissionError::ShuttingDown);
+            return handle;
+        }
+        let mut queues = shared.queues.lock();
+        let queued = queues.len();
+        if queued >= shared.config.admission.max_queued_jobs {
+            drop(queues);
+            self.reject(
+                &core,
+                AdmissionError::QueueFull {
+                    queued,
+                    limit: shared.config.admission.max_queued_jobs,
+                },
+            );
+            return handle;
+        }
+        queues.push(Arc::clone(&core), weight);
+        drop(queues);
+        shared.dispatch_cv.notify_all();
+        handle
+    }
+
+    fn reject(&self, core: &Arc<JobCore>, why: AdmissionError) {
+        *core.rejection.lock() = Some(why);
+        if core.finish(JobState::Rejected) {
+            self.shared.counters.rejected.incr();
+        }
+    }
+
+    /// The shared counter registry: `/service/...` plus one
+    /// `/jobs{name#id}/...` namespace per live job.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// The service-level counters (raw handles and histograms).
+    pub fn counters(&self) -> &ServiceCounters {
+        &self.shared.counters
+    }
+
+    /// The underlying runtime (its own `/threads` counters live in
+    /// [`Runtime::registry`]).
+    pub fn runtime(&self) -> &Runtime {
+        &self.shared.runtime
+    }
+
+    /// Jobs waiting for admission right now.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queues.lock().len()
+    }
+
+    /// Jobs admitted and not yet finished.
+    pub fn running_len(&self) -> usize {
+        self.shared.running.lock().len()
+    }
+
+    /// Block until no job is queued or running. New submissions during
+    /// the wait extend it.
+    pub fn wait_all(&self) {
+        loop {
+            {
+                let queues = self.shared.queues.lock();
+                if queues.len() == 0 && self.shared.running.lock().is_empty() {
+                    return;
+                }
+            }
+            std::thread::sleep(self.shared.config.poll_interval);
+        }
+    }
+}
+
+impl Drop for JobService {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.dispatch_cv.notify_all();
+        if let Some(t) = self.dispatcher.take() {
+            let _ = t.join();
+        }
+        // Runtime drop then waits for any still-running tasks.
+    }
+}
+
+/// One settlement of a finished job: decide the terminal state, meter
+/// it, release the budget, and wake the dispatcher.
+fn settle(shared: &Shared, core: &Arc<JobCore>) {
+    let state = if core.timed_out.load(Ordering::SeqCst) {
+        JobState::TimedOut
+    } else if core.cancel_requested.load(Ordering::SeqCst) || core.group.is_cancelled() {
+        JobState::Cancelled
+    } else {
+        JobState::Completed
+    };
+    if !core.finish_quiet(state) {
+        return; // someone else settled it first
+    }
+    match state {
+        JobState::Completed => shared.counters.completed.incr(),
+        JobState::Cancelled => shared.counters.cancelled.incr(),
+        JobState::TimedOut => shared.counters.timed_out.incr(),
+        _ => unreachable!("settle only produces terminal run states"),
+    }
+    shared
+        .counters
+        .turnaround
+        .record(core.turnaround().as_nanos() as u64);
+    shared.budget_in_use.fetch_sub(core.cost, Ordering::SeqCst);
+    shared.running.lock().retain(|c| !Arc::ptr_eq(c, core));
+    shared.dispatch_cv.notify_all();
+    // Waiters wake only now, with every counter above already settled.
+    core.notify_waiters();
+}
+
+fn dispatcher_loop(shared: Arc<Shared>) {
+    loop {
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        if shutting_down {
+            // Refuse everything still waiting, then leave once the
+            // admitted jobs have settled.
+            let drained = shared.queues.lock().drain();
+            for core in drained {
+                *core.rejection.lock() = Some(AdmissionError::ShuttingDown);
+                if core.finish(JobState::Rejected) {
+                    shared.counters.rejected.incr();
+                }
+            }
+            if shared.running.lock().is_empty() {
+                break;
+            }
+        }
+
+        // Deadlines: scan admitted jobs and queue heads.
+        let now = Instant::now();
+        {
+            let running = shared.running.lock();
+            for core in running.iter() {
+                if let Some(d) = core.spec.deadline {
+                    if now.duration_since(core.submitted_at) >= d
+                        && !core.timed_out.swap(true, Ordering::SeqCst)
+                    {
+                        core.group.cancel();
+                        // settle() runs from the group's quiescence hook.
+                    }
+                }
+            }
+        }
+        {
+            let queues = shared.queues.lock();
+            let expired: Vec<Arc<JobCore>> = queues
+                .iter()
+                .filter(|c| {
+                    c.spec
+                        .deadline
+                        .is_some_and(|d| now.duration_since(c.submitted_at) >= d)
+                })
+                .map(Arc::clone)
+                .collect();
+            drop(queues);
+            for core in expired {
+                // Never admitted: no budget to release, no group to drain.
+                core.timed_out.store(true, Ordering::SeqCst);
+                core.group.cancel();
+                if core.finish(JobState::TimedOut) {
+                    shared.counters.timed_out.incr();
+                }
+                // The queue entry is reaped as a terminal head later.
+            }
+        }
+
+        // Admission: drain as many fair-share picks as the budget allows.
+        if !shutting_down {
+            loop {
+                let max = shared.config.admission.max_in_flight_tasks;
+                let candidate = {
+                    let mut queues = shared.queues.lock();
+                    queues.pop_next(|core| {
+                        let in_use = shared.budget_in_use.load(Ordering::SeqCst);
+                        in_use == 0 || in_use + core.cost <= max
+                    })
+                };
+                match candidate {
+                    None => break,
+                    Some(core) => admit(&shared, core),
+                }
+            }
+        }
+
+        // Sleep until something changes (submission, settlement,
+        // shutdown) or the next tick is due for deadline scanning.
+        let mut queues = shared.queues.lock();
+        shared
+            .dispatch_cv
+            .wait_for(&mut queues, shared.config.poll_interval);
+    }
+}
+
+/// Reserve budget, start the root task, and arm the settlement hook.
+/// Only the dispatcher thread calls this.
+fn admit(shared: &Arc<Shared>, core: Arc<JobCore>) {
+    let now = Instant::now();
+    shared.budget_in_use.fetch_add(core.cost, Ordering::SeqCst);
+    *core.admitted_at.lock() = Some(now);
+    shared
+        .counters
+        .admission_latency
+        .record(now.duration_since(core.submitted_at).as_nanos() as u64);
+    shared.counters.admitted.incr();
+    core.set_state(JobState::Admitted);
+
+    let body = core
+        .body
+        .lock()
+        .take()
+        .expect("a job is admitted exactly once");
+    core.set_state(JobState::Running);
+    shared.running.lock().push(Arc::clone(&core));
+    shared.runtime.spawn_in(
+        &core.group,
+        core.spec.priority.task_priority(),
+        move |ctx| body(ctx),
+    );
+    // Arm settlement after the root is in the group (in-flight ≥ 1 until
+    // the root exits, so the hook cannot fire before the DAG exists; if
+    // the whole job already finished, on_quiescent runs settle inline).
+    let hook_shared = Arc::clone(shared);
+    let hook_core = Arc::clone(&core);
+    core.group.on_quiescent(move || {
+        settle(&hook_shared, &hook_core);
+    });
+}

@@ -1,0 +1,333 @@
+//! End-to-end behavior of the job service: cancellation, deadlines,
+//! admission backpressure, fair share, and counter isolation.
+
+use grain_counters::sync::Mutex;
+use grain_service::{
+    AdmissionConfig, AdmissionError, JobService, JobSpec, JobState, ServiceConfig,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn single_worker_config() -> ServiceConfig {
+    ServiceConfig {
+        poll_interval: Duration::from_micros(200),
+        ..ServiceConfig::with_workers(1)
+    }
+}
+
+/// Spin until `cond` holds or the timeout trips (returns success).
+fn wait_until(timeout: Duration, cond: impl Fn() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    cond()
+}
+
+#[test]
+fn cancellation_mid_dag_skips_the_queued_tail() {
+    let service = JobService::new(single_worker_config());
+    let started = Arc::new(AtomicBool::new(false));
+    let tail_ran = Arc::new(AtomicU64::new(0));
+
+    let s = Arc::clone(&started);
+    let t = Arc::clone(&tail_ran);
+    let job = service.submit(JobSpec::new("dag", "tenant-a"), move |ctx| {
+        // First child holds the single worker until cancelled...
+        let s = Arc::clone(&s);
+        ctx.spawn(move |c| {
+            s.store(true, Ordering::SeqCst);
+            while !c.is_cancelled() {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        });
+        // ...so this tail sits queued behind it.
+        for _ in 0..50 {
+            let t = Arc::clone(&t);
+            ctx.spawn(move |_| {
+                t.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+
+    assert!(
+        wait_until(Duration::from_secs(5), || started.load(Ordering::SeqCst)),
+        "blocker never started"
+    );
+    job.cancel();
+    let outcome = job.wait();
+
+    assert_eq!(outcome.state, JobState::Cancelled);
+    assert_eq!(outcome.tasks_spawned, 52, "root + blocker + 50 tail tasks");
+    assert_eq!(outcome.tasks_skipped, 50, "the queued tail never ran");
+    assert_eq!(
+        outcome.tasks_completed, 2,
+        "root and the cooperative blocker"
+    );
+    assert_eq!(tail_ran.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn deadline_expiry_times_a_running_job_out() {
+    let service = JobService::new(single_worker_config());
+    let deadline = Duration::from_millis(30);
+    let job = service.submit(JobSpec::new("slow", "tenant-a").deadline(deadline), |ctx| {
+        ctx.spawn(|c| {
+            // Never finishes on its own; relies on the deadline.
+            while !c.is_cancelled() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        });
+    });
+    let outcome = job.wait();
+    assert_eq!(outcome.state, JobState::TimedOut);
+    assert!(
+        outcome.turnaround >= deadline,
+        "cannot time out before the deadline: {:?}",
+        outcome.turnaround
+    );
+}
+
+#[test]
+fn deadline_expiry_reaps_a_job_stuck_in_the_queue() {
+    // Budget of 1 task: the blocker occupies it, the victim waits.
+    let config = ServiceConfig {
+        admission: AdmissionConfig {
+            max_in_flight_tasks: 1,
+            ..AdmissionConfig::default()
+        },
+        ..single_worker_config()
+    };
+    let service = JobService::new(config);
+    let release = Arc::new(AtomicBool::new(false));
+
+    let r = Arc::clone(&release);
+    let blocker = service.submit(JobSpec::new("blocker", "tenant-a"), move |_| {
+        while !r.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    });
+    assert!(wait_until(Duration::from_secs(5), || {
+        blocker.state() == JobState::Running
+    }));
+
+    let victim = service.submit(
+        JobSpec::new("victim", "tenant-a").deadline(Duration::from_millis(20)),
+        |_| unreachable!("expires while queued; the body must never run"),
+    );
+    let outcome = victim.wait();
+    assert_eq!(outcome.state, JobState::TimedOut);
+    assert_eq!(outcome.tasks_spawned, 0, "never admitted, never ran");
+
+    release.store(true, Ordering::SeqCst);
+    assert_eq!(blocker.wait().state, JobState::Completed);
+}
+
+#[test]
+fn backpressure_rejects_when_the_queue_is_full() {
+    let config = ServiceConfig {
+        admission: AdmissionConfig {
+            max_in_flight_tasks: 1,
+            max_queued_jobs: 2,
+            ..AdmissionConfig::default()
+        },
+        ..single_worker_config()
+    };
+    let service = JobService::new(config);
+    let release = Arc::new(AtomicBool::new(false));
+
+    let r = Arc::clone(&release);
+    let blocker = service.submit(JobSpec::new("blocker", "tenant-a"), move |_| {
+        while !r.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    });
+    assert!(wait_until(Duration::from_secs(5), || {
+        blocker.state() == JobState::Running
+    }));
+
+    // The budget is full, so these two sit in the queue...
+    let q1 = service.submit(JobSpec::new("waiter", "tenant-a"), |_| {});
+    let q2 = service.submit(JobSpec::new("waiter", "tenant-a"), |_| {});
+    // ...and the third submission bounces.
+    let rejected = service.submit(JobSpec::new("overflow", "tenant-a"), |_| {});
+
+    assert_eq!(rejected.state(), JobState::Rejected);
+    match rejected.rejection() {
+        Some(AdmissionError::QueueFull { queued, limit }) => {
+            assert_eq!(queued, 2);
+            assert_eq!(limit, 2);
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    assert_eq!(
+        service
+            .registry()
+            .query("/service/jobs/rejected")
+            .unwrap()
+            .as_count(),
+        1
+    );
+
+    release.store(true, Ordering::SeqCst);
+    assert_eq!(blocker.wait().state, JobState::Completed);
+    assert_eq!(q1.wait().state, JobState::Completed);
+    assert_eq!(q2.wait().state, JobState::Completed);
+}
+
+#[test]
+fn fair_share_biases_admission_toward_the_heavier_tenant() {
+    let config = ServiceConfig {
+        admission: AdmissionConfig {
+            // One job's budget at a time: admission order == run order.
+            max_in_flight_tasks: 1,
+            tenant_weights: vec![("heavy".into(), 3), ("light".into(), 1)],
+            ..AdmissionConfig::default()
+        },
+        ..ServiceConfig::with_workers(2)
+    };
+    let service = JobService::new(config);
+    let release = Arc::new(AtomicBool::new(false));
+    let order: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Hold the budget while both tenants pile up their backlogs.
+    let r = Arc::clone(&release);
+    let blocker = service.submit(JobSpec::new("blocker", "warmup"), move |_| {
+        while !r.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    });
+    assert!(wait_until(Duration::from_secs(5), || {
+        blocker.state() == JobState::Running
+    }));
+
+    let mut handles = Vec::new();
+    for tenant in ["heavy", "light"] {
+        for _ in 0..8 {
+            let o = Arc::clone(&order);
+            let t = tenant.to_string();
+            handles.push(service.submit(JobSpec::new("work", tenant), move |_| {
+                o.lock().push(t);
+            }));
+        }
+    }
+    release.store(true, Ordering::SeqCst);
+    for h in handles {
+        assert_eq!(h.wait().state, JobState::Completed);
+    }
+
+    let order = order.lock();
+    let heavy_in_first_8 = order[..8].iter().filter(|t| *t == "heavy").count();
+    // Weight 3 vs 1: the heavy tenant owns ~3/4 of early admissions
+    // (exactly 6 of 8 under strict stride; allow scheduling slack).
+    assert!(
+        heavy_in_first_8 >= 5,
+        "heavy tenant under-served: {:?}",
+        &order[..]
+    );
+    assert!(
+        order[..8].iter().any(|t| t == "light"),
+        "light tenant fully starved: {:?}",
+        &order[..]
+    );
+}
+
+#[test]
+fn per_job_counters_are_isolated_and_retired() {
+    let service = JobService::with_workers(2);
+
+    let job_a = service.submit(
+        JobSpec::new("alpha", "tenant-a").estimated_tasks(11),
+        |ctx| {
+            for _ in 0..10 {
+                ctx.spawn(|_| {
+                    std::hint::black_box(0u64);
+                });
+            }
+        },
+    );
+    assert_eq!(job_a.wait().state, JobState::Completed);
+    let path_a = format!("/jobs{{{}}}/threads/count/cumulative", job_a.instance());
+    assert_eq!(service.registry().query(&path_a).unwrap().as_count(), 11);
+
+    let job_b = service.submit(JobSpec::new("beta", "tenant-b").estimated_tasks(6), |ctx| {
+        for _ in 0..5 {
+            ctx.spawn(|_| {
+                std::hint::black_box(0u64);
+            });
+        }
+    });
+    assert_eq!(job_b.wait().state, JobState::Completed);
+
+    // Job B's work moved B's counters, not A's.
+    assert_eq!(
+        job_b
+            .query_counter("threads/count/cumulative")
+            .unwrap()
+            .as_count(),
+        6
+    );
+    assert_eq!(
+        service.registry().query(&path_a).unwrap().as_count(),
+        11,
+        "job A's cumulative count must not see job B's tasks"
+    );
+    assert_ne!(job_a.instance(), job_b.instance());
+
+    // Dropping the last handle retires the job's counter namespace.
+    drop(job_a);
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            service.registry().query(&path_a).is_err()
+        }),
+        "job A's namespace should unregister once its last handle drops"
+    );
+
+    // Service-wide lifecycle counters saw both jobs.
+    assert_eq!(
+        service
+            .registry()
+            .query("/service/jobs/completed")
+            .unwrap()
+            .as_count(),
+        2
+    );
+}
+
+#[test]
+fn concurrent_jobs_share_the_runtime_without_interference() {
+    let service = JobService::with_workers(4);
+    let mut handles = Vec::new();
+    for round in 0..3 {
+        for tenant in ["a", "b", "c"] {
+            let spec = JobSpec::new(format!("mix-{round}"), tenant).estimated_tasks(17);
+            handles.push(service.submit(spec, move |ctx| {
+                let total = Arc::new(AtomicU64::new(0));
+                for i in 0..16u64 {
+                    let total = Arc::clone(&total);
+                    ctx.spawn(move |_| {
+                        total.fetch_add(std::hint::black_box(i), Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+    }
+    for h in handles {
+        let outcome = h.wait();
+        assert_eq!(outcome.state, JobState::Completed);
+        assert_eq!(outcome.tasks_completed, 17, "root + 16 children each");
+        assert_eq!(outcome.tasks_skipped, 0);
+    }
+    assert_eq!(
+        service
+            .registry()
+            .query("/service/jobs/completed")
+            .unwrap()
+            .as_count(),
+        9
+    );
+}

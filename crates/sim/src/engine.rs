@@ -19,11 +19,10 @@
 
 use crate::machine::MachineModel;
 use crate::report::SimReport;
+use crate::rng::Pcg32;
 use crate::workload::SimWorkload;
 use grain_counters::ThreadCounters;
 use grain_topology::Platform;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -103,7 +102,7 @@ struct Engine<'a> {
     run_factor: f64,
     wl: &'a SimWorkload,
     counters: ThreadCounters,
-    rng: StdRng,
+    rng: Pcg32,
     heap: BinaryHeap<Event>,
     seq: u64,
     staged: Vec<VecDeque<u32>>,
@@ -370,11 +369,7 @@ pub fn simulate(
     let m = MachineModel::new(platform, workers);
     let n = workload.tasks.len();
 
-    let mut deps_left: Vec<u32> = workload
-        .tasks
-        .iter()
-        .map(|t| t.deps.len() as u32)
-        .collect();
+    let mut deps_left: Vec<u32> = workload.tasks.iter().map(|t| t.deps.len() as u32).collect();
     let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (i, t) in workload.tasks.iter().enumerate() {
         for &d in &t.deps {
@@ -397,13 +392,9 @@ pub fn simulate(
         }
     }
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Pcg32::seed_from_u64(config.seed);
     let run_factor = if config.run_jitter_sigma > 0.0 {
-        use rand::Rng;
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        (config.run_jitter_sigma * z).exp()
+        (config.run_jitter_sigma * rng.next_gaussian()).exp()
     } else {
         1.0
     };
@@ -459,7 +450,11 @@ mod tests {
         assert_eq!(r.tasks, 1);
         let kernel = p.perf.task_fixed_ns + 100_000.0 * p.perf.per_point_ns(1, 1, false);
         // Wall = kernel (± jitter) + scheduling costs.
-        assert!(r.wall_ns > kernel * 0.8 && r.wall_ns < kernel * 1.3, "wall {}", r.wall_ns);
+        assert!(
+            r.wall_ns > kernel * 0.8 && r.wall_ns < kernel * 1.3,
+            "wall {}",
+            r.wall_ns
+        );
         assert!(r.sum_func_ns >= r.sum_exec_ns);
     }
 
@@ -544,10 +539,7 @@ mod tests {
             &presets::xeon_phi(),
             16,
             &wl,
-            &SimConfig {
-                seed: 99,
-                ..cfg()
-            },
+            &SimConfig { seed: 99, ..cfg() },
         );
         assert_ne!(a.wall_ns, c.wall_ns, "different seed, different jitter");
     }

@@ -46,6 +46,7 @@
 pub mod engine;
 pub mod machine;
 pub mod report;
+pub mod rng;
 pub mod workload;
 
 pub use engine::{simulate, SimConfig};

@@ -1,9 +1,8 @@
 //! The machine cost model: turns (task size, concurrency, residency) into
 //! virtual nanoseconds, and scheduler operations into their modeled costs.
 
+use crate::rng::Pcg32;
 use grain_topology::{NumaTopology, Platform};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// A platform bound to a worker count, with the derived constants the
 /// engine needs on its hot path.
@@ -41,14 +40,22 @@ impl MachineModel {
     /// the coarse-grain regime leaves most workers idle and the queues
     /// quiet.
     pub fn contention(&self, contenders: usize) -> f64 {
-        self.platform.perf.contention(contenders.clamp(1, self.workers))
+        self.platform
+            .perf
+            .contention(contenders.clamp(1, self.workers))
     }
 
     /// Execution time of a task of `points` grid points while `active`
     /// tasks (including this one) execute concurrently. `footprint_bytes`
     /// is the workload's concurrent working set (0 = residency unknown).
     /// Jitter is multiplicative log-normal, drawn from `rng`.
-    pub fn exec_ns(&self, points: u64, active: usize, footprint_bytes: f64, rng: &mut StdRng) -> f64 {
+    pub fn exec_ns(
+        &self,
+        points: u64,
+        active: usize,
+        footprint_bytes: f64,
+        rng: &mut Pcg32,
+    ) -> f64 {
         let perf = &self.platform.perf;
         let resident = self.is_resident(active, footprint_bytes);
         let per_point = perf.per_point_ns(active, self.workers, resident);
@@ -69,16 +76,14 @@ impl MachineModel {
     }
 
     /// Multiplicative log-normal jitter factor.
-    pub fn jitter(&self, rng: &mut StdRng) -> f64 {
+    pub fn jitter(&self, rng: &mut Pcg32) -> f64 {
         let sigma = self.platform.perf.jitter_sigma;
         if sigma <= 0.0 {
             return 1.0;
         }
-        // Box-Muller from two uniforms; StdRng is deterministic per seed.
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        (sigma * z).exp()
+        // Log-normal via the generator's Box-Muller draw; Pcg32 is
+        // deterministic per seed.
+        (sigma * rng.next_gaussian()).exp()
     }
 
     /// Modeled cost of one queue probe under `contenders`-way contention.
@@ -133,7 +138,6 @@ impl MachineModel {
 mod tests {
     use super::*;
     use grain_topology::presets;
-    use rand::SeedableRng;
 
     fn hw(workers: usize) -> MachineModel {
         MachineModel::new(&presets::haswell(), workers)
@@ -142,7 +146,7 @@ mod tests {
     #[test]
     fn exec_time_scales_with_points() {
         let m = hw(1);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg32::seed_from_u64(1);
         let small = m.exec_ns(1_000, 1, 0.0, &mut rng);
         let big = m.exec_ns(100_000, 1, 0.0, &mut rng);
         assert!(big > 50.0 * small / 2.0, "roughly linear in points");
@@ -151,7 +155,7 @@ mod tests {
     #[test]
     fn zero_point_task_still_costs_fixed_time() {
         let m = hw(1);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg32::seed_from_u64(1);
         let t = m.exec_ns(0, 1, 0.0, &mut rng);
         let fixed = m.platform.perf.task_fixed_ns;
         // Only jitter separates the cost from the fixed term.
@@ -161,7 +165,7 @@ mod tests {
     #[test]
     fn contention_slows_tasks() {
         let m = hw(28);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg32::seed_from_u64(1);
         let alone = m.exec_ns(100_000, 1, 0.0, &mut rng);
         let crowded = m.exec_ns(100_000, 28, 0.0, &mut rng);
         assert!(crowded > 2.0 * alone);
@@ -181,8 +185,8 @@ mod tests {
     #[test]
     fn jitter_is_deterministic_per_seed() {
         let m = hw(1);
-        let mut a = StdRng::seed_from_u64(7);
-        let mut b = StdRng::seed_from_u64(7);
+        let mut a = Pcg32::seed_from_u64(7);
+        let mut b = Pcg32::seed_from_u64(7);
         for _ in 0..10 {
             assert_eq!(m.jitter(&mut a), m.jitter(&mut b));
         }
@@ -191,7 +195,7 @@ mod tests {
     #[test]
     fn jitter_centers_near_one() {
         let m = hw(1);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Pcg32::seed_from_u64(3);
         let n = 4000;
         let mean: f64 = (0..n).map(|_| m.jitter(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.05, "mean jitter {mean}");

@@ -100,7 +100,9 @@ impl SimWorkload {
                 } else {
                     let base = ((layer - 1) * width) as u32;
                     let k = 1 + (next() % 3) as usize;
-                    (0..k).map(|_| base + (next() % width as u64) as u32).collect()
+                    (0..k)
+                        .map(|_| base + (next() % width as u64) as u32)
+                        .collect()
                 };
                 wl.push(points, deps);
             }

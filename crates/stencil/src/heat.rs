@@ -53,10 +53,7 @@ pub fn heat_part(coeff: f64, left: &[f64], middle: &[f64], right: &[f64]) -> Par
 /// exactly (up to floating-point), which validation and property tests
 /// exploit.
 pub fn total_heat<'a>(partitions: impl IntoIterator<Item = &'a [f64]>) -> f64 {
-    partitions
-        .into_iter()
-        .flat_map(|p| p.iter())
-        .sum()
+    partitions.into_iter().flat_map(|p| p.iter()).sum()
 }
 
 #[cfg(test)]

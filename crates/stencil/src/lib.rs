@@ -39,8 +39,7 @@ pub mod suspending;
 
 pub use dag::stencil_workload;
 pub use futurized::{
-    collect_result, partition_grid, run_futurized, run_steps_from, spawn_stencil,
-    step_partitions,
+    collect_result, partition_grid, run_futurized, run_steps_from, spawn_stencil, step_partitions,
 };
 pub use heat::{heat, heat_part, initial_partition, total_heat, Partition};
 pub use params::StencilParams;

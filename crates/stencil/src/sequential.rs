@@ -50,9 +50,7 @@ mod tests {
     #[test]
     fn heat_is_conserved() {
         let p = StencilParams::new(16, 8, 25);
-        let before: f64 = (0..p.total_points())
-            .map(|g| (g / p.nx) as f64)
-            .sum();
+        let before: f64 = (0..p.total_points()).map(|g| (g / p.nx) as f64).sum();
         let grid = run_sequential(&p);
         let after = total_heat([&grid[..]]);
         assert!(

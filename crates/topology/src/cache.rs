@@ -1,9 +1,7 @@
 //! Cache hierarchy description (the cache rows of Table I).
 
-use serde::{Deserialize, Serialize};
-
 /// Cache sizes of one platform, per Table I of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheSpec {
     /// L1 data cache per core, bytes.
     pub l1d_bytes: u64,

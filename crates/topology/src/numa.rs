@@ -7,8 +7,6 @@
 //! *which other workers are in the same / in remote domains, in what
 //! order?*
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a NUMA domain (socket), dense from zero.
 pub type DomainId = usize;
 
@@ -16,7 +14,7 @@ pub type DomainId = usize;
 /// onto cores. Workers are assigned to domains round-robin-by-block, the
 /// same "one static OS thread per core, NUMA aware" placement HPX uses by
 /// default.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NumaTopology {
     /// `domains[d]` = number of workers placed in domain `d`.
     workers_per_domain: Vec<usize>,
@@ -98,10 +96,7 @@ impl NumaTopology {
 
     fn rotated_peers(&self, w: usize, keep: impl Fn(usize) -> bool) -> Vec<usize> {
         let n = self.workers();
-        (1..n)
-            .map(|i| (w + i) % n)
-            .filter(|&p| keep(p))
-            .collect()
+        (1..n).map(|i| (w + i) % n).filter(|&p| keep(p)).collect()
     }
 
     /// True if workers `a` and `b` share a NUMA domain.

@@ -3,12 +3,11 @@
 
 use crate::cache::CacheSpec;
 use crate::numa::NumaTopology;
-use serde::{Deserialize, Serialize};
 
 /// A full experimental platform: the Table I hardware facts plus the
 /// calibrated cost model ([`PerfParams`]) the discrete-event simulator
 /// uses to turn "task of `n` grid points on `c` active cores" into time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     /// Short name used in reports ("Haswell", "Xeon Phi", …).
     pub name: String,
@@ -116,7 +115,7 @@ impl Platform {
 /// `1 + contention_alpha · (workers − 1)^contention_gamma` — the empirical
 /// queue/steal contention collapse that produces the paper's ~90 % idle
 /// rates for very fine grain at high core counts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfParams {
     /// Fixed execution cost per task, ns — partition allocation, result
     /// construction, future bookkeeping executed *inside* the task body.
@@ -281,7 +280,10 @@ mod tests {
         let p = presets::haswell().perf;
         let one = p.per_point_ns(1, 1, false);
         let many = p.per_point_ns(28, 28, false);
-        assert!(many > 2.0 * one, "28-way sharing must inflate per-point time");
+        assert!(
+            many > 2.0 * one,
+            "28-way sharing must inflate per-point time"
+        );
     }
 
     #[test]

@@ -192,7 +192,11 @@ pub fn table1() -> Vec<Platform> {
 
 /// Look a preset up by (case-insensitive) name or common abbreviation.
 pub fn by_name(name: &str) -> Option<Platform> {
-    match name.to_ascii_lowercase().replace([' ', '-', '_'], "").as_str() {
+    match name
+        .to_ascii_lowercase()
+        .replace([' ', '-', '_'], "")
+        .as_str()
+    {
         "haswell" | "hw" => Some(haswell()),
         "xeonphi" | "phi" | "knc" => Some(xeon_phi()),
         "ivybridge" | "ib" => Some(ivy_bridge()),

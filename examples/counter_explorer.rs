@@ -40,7 +40,10 @@ fn main() {
             "/threads{locality#0/total}/time/cumulative-func",
         )
         .unwrap_or(0.0);
-    println!("\nwindowed idle-rate (Eq. 1 over the interval): {:.2}%", ir * 100.0);
+    println!(
+        "\nwindowed idle-rate (Eq. 1 over the interval): {:.2}%",
+        ir * 100.0
+    );
 
     println!("\n=== wildcard discovery ===");
     for pat in ["/threads/idle-rate", "/threads/count/pending-*"] {

@@ -35,7 +35,15 @@ fn main() {
     ]);
 
     println!("policy-driven run on {workers} workers (start: 2 partitions):\n");
-    let run = run_policy_driven(&rt, grid0, params.coefficient(), total / 2, 4, 14, &mut engine);
+    let run = run_policy_driven(
+        &rt,
+        grid0,
+        params.coefficient(),
+        total / 2,
+        4,
+        14,
+        &mut engine,
+    );
 
     println!(
         "{:>5} {:>10} {:>8} {:>10} {:>9} {:>12}",

@@ -45,5 +45,8 @@ fn main() {
 
     // Or discover the whole tree:
     let all = rt.registry().discover("/threads/count/*").unwrap();
-    println!("{} count counters registered (per-worker + totals)", all.len());
+    println!(
+        "{} count counters registered (per-worker + totals)",
+        all.len()
+    );
 }

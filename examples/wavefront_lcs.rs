@@ -47,13 +47,7 @@ fn lcs_sequential(a: &[u8], b: &[u8]) -> u32 {
 /// Compute one tile given its boundary inputs. `top` has `cols` entries,
 /// `left` has `rows` entries, `corner` is dp of the cell diagonal to the
 /// tile's top-left.
-fn compute_tile(
-    a: &[u8],
-    b: &[u8],
-    top: &[u32],
-    left: &[u32],
-    corner: u32,
-) -> TileEdge {
+fn compute_tile(a: &[u8], b: &[u8], top: &[u32], left: &[u32], corner: u32) -> TileEdge {
     let rows = a.len();
     let cols = b.len();
     // dp with a halo row/col assembled from the inputs.
@@ -97,15 +91,25 @@ fn lcs_blocked(rt: &Runtime, a: Arc<Vec<u8>>, b: Arc<Vec<u8>>, tile: usize) -> u
             let (a, b) = (Arc::clone(&a), Arc::clone(&b));
 
             // Dependencies: up, left, diagonal (when they exist).
-            let up = if i > 0 { Some(tiles[(i - 1) * cols + j].clone()) } else { None };
-            let lf = if j > 0 { Some(tiles[i * cols + j - 1].clone()) } else { None };
+            let up = if i > 0 {
+                Some(tiles[(i - 1) * cols + j].clone())
+            } else {
+                None
+            };
+            let lf = if j > 0 {
+                Some(tiles[i * cols + j - 1].clone())
+            } else {
+                None
+            };
             let dg = if i > 0 && j > 0 {
                 Some(tiles[(i - 1) * cols + j - 1].clone())
             } else {
                 None
             };
-            let deps: Vec<SharedFuture<TileEdge>> =
-                [up.clone(), lf.clone(), dg.clone()].into_iter().flatten().collect();
+            let deps: Vec<SharedFuture<TileEdge>> = [up.clone(), lf.clone(), dg.clone()]
+                .into_iter()
+                .flatten()
+                .collect();
 
             let fut = rt.dataflow(&deps, move |_, _vals| {
                 let top: Vec<u32> = match &up {

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# The repo's verification gate: formatting, lints, release build, tests.
+# Run from the repository root. Fully offline — the workspace has no
+# external dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "==> OK"

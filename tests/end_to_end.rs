@@ -89,7 +89,11 @@ fn idle_rate_extremes_in_simulation() {
         "medium idle {}",
         medium.idle_rate()
     );
-    assert!(coarse.idle_rate() > 0.6, "coarse idle {}", coarse.idle_rate());
+    assert!(
+        coarse.idle_rate() > 0.6,
+        "coarse idle {}",
+        coarse.idle_rate()
+    );
 }
 
 #[test]

@@ -1,214 +1,277 @@
-//! Property-based tests over the core invariants, using proptest.
+//! Randomized-property tests over the core invariants.
+//!
+//! The seed used `proptest` here; to keep tier-1 builds offline these are
+//! now plain seeded sweeps over the in-repo [`Pcg32`] generator: each test
+//! draws a few dozen random configurations from a fixed seed (fully
+//! deterministic, so failures reproduce) and asserts the same invariants
+//! the proptest versions did. On failure the offending configuration is
+//! part of the panic message.
 
 use grain::counters::{CounterPath, SampleStats};
 use grain::metrics::equations;
 use grain::runtime::Runtime;
-use grain::sim::{simulate, SimConfig};
-use grain::stencil::{
-    run_futurized, run_sequential, stencil_workload, total_heat, StencilParams,
-};
+use grain::sim::rng::Pcg32;
+use grain::sim::{simulate, SimConfig, SimWorkload};
+use grain::stencil::{run_futurized, run_sequential, stencil_workload, total_heat, StencilParams};
 use grain::topology::presets;
 use grain::topology::NumaTopology;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Draw a usize uniformly from `[lo, hi)`.
+fn draw(rng: &mut Pcg32, lo: usize, hi: usize) -> usize {
+    lo + rng.range_u64((hi - lo) as u64) as usize
+}
 
-    /// The futurized dataflow execution is bit-identical to the
-    /// sequential oracle for arbitrary problem shapes and worker counts.
-    #[test]
-    fn futurized_matches_sequential(
-        nx in 1usize..48,
-        np in 1usize..24,
-        nt in 0usize..12,
-        workers in 1usize..5,
-    ) {
+/// The futurized dataflow execution is bit-identical to the sequential
+/// oracle for arbitrary problem shapes and worker counts.
+#[test]
+fn futurized_matches_sequential() {
+    let mut rng = Pcg32::seed_from_u64(0xF07);
+    for case in 0..32 {
+        let nx = draw(&mut rng, 1, 48);
+        let np = draw(&mut rng, 1, 24);
+        let nt = draw(&mut rng, 0, 12);
+        let workers = draw(&mut rng, 1, 5);
         let params = StencilParams::new(nx, np, nt);
         let rt = Runtime::with_workers(workers);
         let fut = run_futurized(&rt, &params);
         let seq = run_sequential(&params);
-        prop_assert_eq!(fut, seq);
+        assert_eq!(
+            fut, seq,
+            "case {case}: nx={nx} np={np} nt={nt} workers={workers}"
+        );
     }
+}
 
-    /// The ring scheme conserves total heat for any shape.
-    #[test]
-    fn heat_is_conserved(
-        nx in 1usize..64,
-        np in 1usize..32,
-        nt in 0usize..20,
-    ) {
+/// The ring scheme conserves total heat for any shape.
+#[test]
+fn heat_is_conserved() {
+    let mut rng = Pcg32::seed_from_u64(0x4EA7);
+    for case in 0..32 {
+        let nx = draw(&mut rng, 1, 64);
+        let np = draw(&mut rng, 1, 32);
+        let nt = draw(&mut rng, 0, 20);
         let params = StencilParams::new(nx, np, nt);
         let grid = run_sequential(&params);
         let expect: f64 = (0..params.total_points())
             .map(|g| (g / params.nx) as f64)
             .sum();
         let got = total_heat([&grid[..]]);
-        prop_assert!((got - expect).abs() <= 1e-9 * expect.max(1.0) * nt.max(1) as f64);
+        assert!(
+            (got - expect).abs() <= 1e-9 * expect.max(1.0) * nt.max(1) as f64,
+            "case {case}: nx={nx} np={np} nt={nt}: {got} vs {expect}"
+        );
     }
+}
 
-    /// Diffusion is a contraction: the value range never widens.
-    #[test]
-    fn diffusion_never_widens_the_range(
-        nx in 1usize..32,
-        np in 2usize..16,
-        nt in 1usize..16,
-    ) {
+/// Diffusion is a contraction: the value range never widens.
+#[test]
+fn diffusion_never_widens_the_range() {
+    let mut rng = Pcg32::seed_from_u64(0xD1FF);
+    for case in 0..32 {
+        let nx = draw(&mut rng, 1, 32);
+        let np = draw(&mut rng, 2, 16);
+        let nt = draw(&mut rng, 1, 16);
         let params = StencilParams::new(nx, np, nt);
         let grid = run_sequential(&params);
         let lo = grid.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = grid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(lo >= 0.0 - 1e-12);
-        prop_assert!(hi <= (np - 1) as f64 + 1e-12);
+        assert!(lo >= 0.0 - 1e-12, "case {case}: nx={nx} np={np} nt={nt}");
+        assert!(
+            hi <= (np - 1) as f64 + 1e-12,
+            "case {case}: nx={nx} np={np} nt={nt}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Counter paths round-trip through parse/format for arbitrary
-    /// well-formed components.
-    #[test]
-    fn counter_path_roundtrip(
-        object in "[a-z][a-z0-9-]{0,10}",
-        name1 in "[a-z][a-z0-9-]{0,10}",
-        name2 in proptest::option::of("[a-z][a-z0-9-]{0,10}"),
-        worker in proptest::option::of(0usize..64),
-    ) {
-        let name = match name2 {
-            Some(n2) => format!("{name1}/{n2}"),
-            None => name1,
-        };
+/// Counter paths round-trip through parse/format for arbitrary
+/// well-formed components.
+#[test]
+fn counter_path_roundtrip() {
+    let mut rng = Pcg32::seed_from_u64(0xBA7);
+    let word = |rng: &mut Pcg32| {
+        let len = 1 + rng.range_u64(10) as usize;
+        let mut s = String::new();
+        for i in 0..len {
+            let c = if i == 0 {
+                b'a' + rng.range_u64(26) as u8
+            } else {
+                // [a-z0-9-]
+                match rng.range_u64(37) {
+                    d @ 0..=25 => b'a' + d as u8,
+                    d @ 26..=35 => b'0' + (d - 26) as u8,
+                    _ => b'-',
+                }
+            };
+            s.push(c as char);
+        }
+        s
+    };
+    for case in 0..64 {
+        let object = word(&mut rng);
+        let mut name = word(&mut rng);
+        if rng.next_f64() < 0.5 {
+            name = format!("{name}/{}", word(&mut rng));
+        }
         let mut path = CounterPath::new(object, name);
-        if let Some(w) = worker {
+        if rng.next_f64() < 0.5 {
+            let w = rng.range_u64(64) as usize;
             path = path.with_instance(CounterPath::worker_instance(w));
         }
         let s = path.to_string();
         let parsed: CounterPath = s.parse().unwrap();
-        prop_assert_eq!(parsed, path);
+        assert_eq!(parsed, path, "case {case}: `{s}`");
     }
+}
 
-    /// Welford merge equals sequential accumulation for any split point.
-    #[test]
-    fn stats_merge_is_split_invariant(
-        data in proptest::collection::vec(-1e6f64..1e6, 1..64),
-        split_frac in 0.0f64..1.0,
-    ) {
-        let split = ((data.len() as f64) * split_frac) as usize;
+/// Welford merge equals sequential accumulation for any split point.
+#[test]
+fn stats_merge_is_split_invariant() {
+    let mut rng = Pcg32::seed_from_u64(0x57A7);
+    for case in 0..64 {
+        let len = draw(&mut rng, 1, 64);
+        let data: Vec<f64> = (0..len).map(|_| rng.range_f64(-1e6, 1e6)).collect();
+        let split = draw(&mut rng, 0, len + 1);
         let whole = SampleStats::from_iter(data.iter().copied());
         let mut a = SampleStats::from_iter(data[..split].iter().copied());
         let b = SampleStats::from_iter(data[split..].iter().copied());
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * whole.mean().abs().max(1.0));
-        prop_assert!((a.stddev() - whole.stddev()).abs() < 1e-6 * whole.stddev().abs().max(1.0));
+        assert_eq!(a.count(), whole.count(), "case {case}");
+        assert!(
+            (a.mean() - whole.mean()).abs() < 1e-6 * whole.mean().abs().max(1.0),
+            "case {case}: split {split}/{len}"
+        );
+        assert!(
+            (a.stddev() - whole.stddev()).abs() < 1e-6 * whole.stddev().abs().max(1.0),
+            "case {case}: split {split}/{len}"
+        );
     }
+}
 
-    /// Eqs. 1–3 identities: t_d + t_o reconstructs Σt_func / n_t, and the
-    /// idle-rate equals t_o / (t_d + t_o).
-    #[test]
-    fn equations_are_mutually_consistent(
-        sum_exec in 0u64..1_000_000_000,
-        extra in 0u64..1_000_000_000,
-        tasks in 1u64..1_000_000,
-    ) {
+/// Eqs. 1–3 identities: t_d + t_o reconstructs Σt_func / n_t, and the
+/// idle-rate equals t_o / (t_d + t_o).
+#[test]
+fn equations_are_mutually_consistent() {
+    let mut rng = Pcg32::seed_from_u64(0xE95);
+    for case in 0..64 {
+        let sum_exec = rng.range_u64(1_000_000_000);
+        let extra = rng.range_u64(1_000_000_000);
+        let tasks = 1 + rng.range_u64(999_999);
         let sum_func = sum_exec + extra;
         let td = equations::task_duration_ns(sum_exec, tasks);
         let to = equations::task_overhead_ns(sum_exec, sum_func, tasks);
         let ir = equations::idle_rate(sum_exec, sum_func);
-        prop_assert!(((td + to) * tasks as f64 - sum_func as f64).abs() < 1.0);
+        assert!(
+            ((td + to) * tasks as f64 - sum_func as f64).abs() < 1.0,
+            "case {case}"
+        );
         if sum_func > 0 {
-            prop_assert!((ir - to / (td + to).max(f64::MIN_POSITIVE)).abs() < 1e-9);
+            assert!(
+                (ir - to / (td + to).max(f64::MIN_POSITIVE)).abs() < 1e-9,
+                "case {case}"
+            );
         }
         // Eq. 6 consistency with Eq. 5.
         let tw = equations::wait_per_task_ns(td, 100.0);
         let tw_total = equations::wait_time_s(td, 100.0, tasks, 4);
-        prop_assert!((tw_total - tw * tasks as f64 / 4.0 * 1e-9).abs() < 1e-9 * tw.abs().max(1.0));
+        assert!(
+            (tw_total - tw * tasks as f64 / 4.0 * 1e-9).abs() < 1e-9 * tw.abs().max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    /// NUMA block placement always partitions workers completely and
-    /// near-evenly.
-    #[test]
-    fn numa_block_partitions_workers(
-        workers in 1usize..128,
-        domains in 1usize..8,
-    ) {
+/// NUMA block placement always partitions workers completely and
+/// near-evenly.
+#[test]
+fn numa_block_partitions_workers() {
+    let mut rng = Pcg32::seed_from_u64(0x40A1);
+    for case in 0..64 {
+        let workers = draw(&mut rng, 1, 128);
+        let domains = draw(&mut rng, 1, 8);
         let t = NumaTopology::block(workers, domains);
-        prop_assert_eq!(t.workers(), workers);
+        assert_eq!(t.workers(), workers, "case {case}");
         let counts: Vec<usize> = (0..t.domains()).map(|d| t.workers_in(d).count()).collect();
-        prop_assert_eq!(counts.iter().sum::<usize>(), workers);
+        assert_eq!(counts.iter().sum::<usize>(), workers, "case {case}");
         let max = counts.iter().max().unwrap();
         let min = counts.iter().min().unwrap();
-        prop_assert!(max - min <= 1, "uneven split {counts:?}");
+        assert!(max - min <= 1, "case {case}: uneven split {counts:?}");
         // Peer sets partition all other workers.
         for w in 0..workers {
             let mut all = t.same_domain_peers(w);
             all.extend(t.remote_domain_peers(w));
             all.sort_unstable();
             let expect: Vec<usize> = (0..workers).filter(|&x| x != w).collect();
-            prop_assert_eq!(all, expect);
+            assert_eq!(all, expect, "case {case}: worker {w}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The simulator completes every valid stencil DAG, is deterministic,
-    /// and preserves the counter invariants.
-    #[test]
-    fn simulator_invariants(
-        nx in 1_000usize..200_000,
-        steps in 1usize..6,
-        workers in 1usize..16,
-        seed in 0u64..1_000,
-    ) {
+/// The simulator completes every valid stencil DAG, is deterministic,
+/// and preserves the counter invariants.
+#[test]
+fn simulator_invariants() {
+    let mut rng = Pcg32::seed_from_u64(0x51AB);
+    for case in 0..16 {
+        let nx = draw(&mut rng, 1_000, 200_000);
+        let steps = draw(&mut rng, 1, 6);
+        let workers = draw(&mut rng, 1, 16);
+        let seed = rng.range_u64(1_000);
         let params = StencilParams::for_total(400_000, nx, steps);
         let wl = stencil_workload(&params);
-        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let cfg = SimConfig {
+            seed,
+            ..SimConfig::default()
+        };
         let a = simulate(&presets::haswell(), workers, &wl, &cfg);
-        prop_assert_eq!(a.tasks as usize, params.total_tasks());
-        prop_assert!(a.sum_func_ns >= a.sum_exec_ns);
-        prop_assert!(a.pending_accesses >= a.pending_misses);
-        prop_assert!(a.staged_accesses >= a.staged_misses);
-        prop_assert!(a.converted == a.tasks);
-        prop_assert!(a.wall_ns > 0.0);
-        prop_assert_eq!(a.tasks_per_worker.iter().sum::<u64>(), a.tasks);
+        let ctx = format!("case {case}: nx={nx} steps={steps} workers={workers} seed={seed}");
+        assert_eq!(a.tasks as usize, params.total_tasks(), "{ctx}");
+        assert!(a.sum_func_ns >= a.sum_exec_ns, "{ctx}");
+        assert!(a.pending_accesses >= a.pending_misses, "{ctx}");
+        assert!(a.staged_accesses >= a.staged_misses, "{ctx}");
+        assert!(a.converted == a.tasks, "{ctx}");
+        assert!(a.wall_ns > 0.0, "{ctx}");
+        assert_eq!(a.tasks_per_worker.iter().sum::<u64>(), a.tasks, "{ctx}");
         // Determinism.
         let b = simulate(&presets::haswell(), workers, &wl, &cfg);
-        prop_assert_eq!(a, b);
-    }
-
-    /// Adding workers never makes the simulated stencil dramatically
-    /// slower (steal costs are bounded), and at medium grain it helps.
-    #[test]
-    fn more_workers_do_not_catastrophically_hurt(
-        workers in 2usize..24,
-    ) {
-        let params = StencilParams::for_total(2_000_000, 25_000, 4);
-        let wl = stencil_workload(&params);
-        let cfg = SimConfig::default();
-        let one = simulate(&presets::haswell(), 1, &wl, &cfg);
-        let many = simulate(&presets::haswell(), workers, &wl, &cfg);
-        prop_assert!(many.wall_ns < one.wall_ns * 1.2,
-            "{} workers: {} vs 1 worker {}", workers, many.wall_ns, one.wall_ns);
+        assert_eq!(a, b, "{ctx}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Adding workers never makes the simulated stencil dramatically slower
+/// (steal costs are bounded), and at medium grain it helps.
+#[test]
+fn more_workers_do_not_catastrophically_hurt() {
+    let params = StencilParams::for_total(2_000_000, 25_000, 4);
+    let wl = stencil_workload(&params);
+    let cfg = SimConfig::default();
+    let one = simulate(&presets::haswell(), 1, &wl, &cfg);
+    let mut rng = Pcg32::seed_from_u64(0xC04E);
+    for case in 0..8 {
+        let workers = draw(&mut rng, 2, 24);
+        let many = simulate(&presets::haswell(), workers, &wl, &cfg);
+        assert!(
+            many.wall_ns < one.wall_ns * 1.2,
+            "case {case}: {workers} workers: {} vs 1 worker {}",
+            many.wall_ns,
+            one.wall_ns
+        );
+    }
+}
 
-    /// Arbitrary layered DAGs execute correctly on the native runtime:
-    /// each task computes `index + Σ(dep values)`; the dataflow execution
-    /// must match a sequential topological evaluation, and the native and
-    /// simulated engines must agree on the task count.
-    #[test]
-    fn random_dags_execute_correctly_on_both_engines(
-        layers in 1usize..6,
-        width in 1usize..10,
-        seed in 0u64..500,
-        workers in 1usize..4,
-    ) {
-        use grain::sim::SimWorkload;
+/// Arbitrary layered DAGs execute correctly on the native runtime: each
+/// task computes `index + Σ(dep values)`; the dataflow execution must
+/// match a sequential topological evaluation, and the native and
+/// simulated engines must agree on the task count.
+#[test]
+fn random_dags_execute_correctly_on_both_engines() {
+    let mut rng = Pcg32::seed_from_u64(0xDA6);
+    for case in 0..24 {
+        let layers = draw(&mut rng, 1, 6);
+        let width = draw(&mut rng, 1, 10);
+        let seed = rng.range_u64(500);
+        let workers = draw(&mut rng, 1, 4);
+        let ctx =
+            format!("case {case}: layers={layers} width={width} seed={seed} workers={workers}");
         let wl = SimWorkload::layered_random(layers, width, 10, seed);
         wl.validate().unwrap();
 
@@ -222,16 +285,20 @@ proptest! {
         let rt = Runtime::with_workers(workers);
         let mut futures: Vec<grain::runtime::SharedFuture<u64>> = Vec::with_capacity(wl.len());
         for (i, t) in wl.tasks.iter().enumerate() {
-            let deps: Vec<_> = t.deps.iter().map(|&d| futures[d as usize].clone()).collect();
+            let deps: Vec<_> = t
+                .deps
+                .iter()
+                .map(|&d| futures[d as usize].clone())
+                .collect();
             futures.push(rt.dataflow(&deps, move |_, vals| {
                 i as u64 + vals.iter().map(|v| **v).sum::<u64>()
             }));
         }
         for (i, f) in futures.iter().enumerate() {
-            prop_assert_eq!(*f.get(), reference[i], "task {}", i);
+            assert_eq!(*f.get(), reference[i], "{ctx}: task {i}");
         }
         rt.wait_idle();
-        prop_assert_eq!(rt.counters().tasks.sum() as usize, wl.len());
+        assert_eq!(rt.counters().tasks.sum() as usize, wl.len(), "{ctx}");
 
         // Simulated execution of the same DAG completes the same tasks.
         let report = simulate(
@@ -240,20 +307,33 @@ proptest! {
             &wl,
             &SimConfig::default(),
         );
-        prop_assert_eq!(report.tasks as usize, wl.len());
+        assert_eq!(report.tasks as usize, wl.len(), "{ctx}");
     }
+}
 
-    /// parallel_reduce equals the sequential fold for any range/grain.
-    #[test]
-    fn parallel_reduce_matches_sequential(
-        len in 0usize..2_000,
-        grain in 1usize..500,
-        workers in 1usize..4,
-    ) {
-        use grain::runtime::algorithms::parallel_reduce;
+/// parallel_reduce equals the sequential fold for any range/grain.
+#[test]
+fn parallel_reduce_matches_sequential() {
+    use grain::runtime::algorithms::parallel_reduce;
+    let mut rng = Pcg32::seed_from_u64(0x4ED);
+    for case in 0..24 {
+        let len = draw(&mut rng, 0, 2_000);
+        let grain = draw(&mut rng, 1, 500);
+        let workers = draw(&mut rng, 1, 4);
         let rt = Runtime::with_workers(workers);
-        let sum = parallel_reduce(&rt, 0..len, grain, 0u64, |i| (i as u64) * 3 + 1, |a, b| a + b);
+        let sum = parallel_reduce(
+            &rt,
+            0..len,
+            grain,
+            0u64,
+            |i| (i as u64) * 3 + 1,
+            |a, b| a + b,
+        );
         let expect: u64 = (0..len).map(|i| (i as u64) * 3 + 1).sum();
-        prop_assert_eq!(*sum.get(), expect);
+        assert_eq!(
+            *sum.get(),
+            expect,
+            "case {case}: len={len} grain={grain} workers={workers}"
+        );
     }
 }
