@@ -146,7 +146,22 @@ impl FairQueues {
         self.queued += 1;
     }
 
-    /// Discard already-terminal queue heads (cancelled or expired while
+    /// Discard every already-terminal entry (cancelled or expired while
+    /// waiting) so they neither block their tenant's stride slot nor
+    /// count against the queue bound. FIFO order of the live entries is
+    /// preserved. Returns how many were removed.
+    pub(crate) fn reap_terminal(&mut self) -> usize {
+        let mut reaped = 0;
+        for t in self.tenants.values_mut() {
+            let before = t.jobs.len();
+            t.jobs.retain(|c| !c.state().is_terminal());
+            reaped += before - t.jobs.len();
+        }
+        self.queued -= reaped;
+        reaped
+    }
+
+    /// Discard already-terminal entries (cancelled or expired while
     /// waiting), then pop the first admissible job in stride order.
     /// `admissible` sees each candidate head; a `false` verdict leaves
     /// the job queued (FIFO within its tenant is preserved) and moves on
@@ -155,14 +170,7 @@ impl FairQueues {
         &mut self,
         mut admissible: impl FnMut(&JobCore) -> bool,
     ) -> Option<Arc<JobCore>> {
-        // Reap terminal heads everywhere first so they don't block their
-        // tenant's stride slot.
-        for t in self.tenants.values_mut() {
-            while t.jobs.front().is_some_and(|c| c.state().is_terminal()) {
-                t.jobs.pop_front();
-                self.queued -= 1;
-            }
-        }
+        self.reap_terminal();
         // Visit non-empty tenants in pass order.
         let mut order: Vec<&String> = self
             .tenants
@@ -307,6 +315,23 @@ mod tests {
         let got = q.pop_next(|_| true).unwrap();
         assert_eq!(got.id.0, 1);
         assert_eq!(q.len(), 0, "terminal head was reaped, live one popped");
+    }
+
+    #[test]
+    fn reap_terminal_removes_mid_queue_entries() {
+        let mut q = FairQueues::new();
+        q.push(core(0, "a"), 1);
+        let dead = core(1, "a");
+        q.push(Arc::clone(&dead), 1);
+        q.push(core(2, "a"), 1);
+        dead.finish(crate::job::JobState::Cancelled);
+        assert_eq!(q.len(), 3, "terminal entries linger until reaped");
+        assert_eq!(q.reap_terminal(), 1);
+        assert_eq!(q.len(), 2, "len no longer counts the terminal entry");
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop_next(|_| true))
+            .map(|c| c.id.0)
+            .collect();
+        assert_eq!(ids, vec![0, 2], "live entries keep FIFO order");
     }
 
     #[test]

@@ -222,12 +222,46 @@ impl JobCore {
         *self.state.lock()
     }
 
-    /// Unconditional transition (legality is the service's business);
-    /// wakes waiters.
+    /// Non-terminal transition; wakes waiters. A job that already
+    /// reached a terminal state is left alone — waiters may have
+    /// observed that state, and it can never be un-terminalized.
     pub(crate) fn set_state(&self, to: JobState) {
         let mut g = self.state.lock();
+        if g.is_terminal() {
+            return;
+        }
         *g = to;
         self.state_cv.notify_all();
+    }
+
+    /// `Queued → Admitted`, atomic with respect to the
+    /// `Queued → Cancelled` path in [`JobHandle::cancel`] (both run
+    /// under the state mutex). Returns false — and changes nothing — if
+    /// the job already left `Queued` (cancelled or expired while it
+    /// waited); such a job must not be started or charged any budget.
+    pub(crate) fn try_admit(&self) -> bool {
+        let mut g = self.state.lock();
+        if *g != JobState::Queued {
+            return false;
+        }
+        *g = JobState::Admitted;
+        self.state_cv.notify_all();
+        true
+    }
+
+    /// Terminal transition `Queued → to` iff the job is still `Queued`,
+    /// atomic with respect to [`try_admit`](Self::try_admit). Does not
+    /// wake waiters — the winner finishes its bookkeeping first, then
+    /// calls [`notify_waiters`](Self::notify_waiters).
+    pub(crate) fn finish_if_queued(&self, to: JobState) -> bool {
+        debug_assert!(to.is_terminal());
+        let mut g = self.state.lock();
+        if *g != JobState::Queued {
+            return false;
+        }
+        *g = to;
+        *self.finished_at.lock() = Some(Instant::now());
+        true
     }
 
     /// Transition to terminal state `to` unless already terminal. Returns
@@ -366,15 +400,20 @@ impl JobHandle {
     /// effect on jobs already in a terminal state.
     pub fn cancel(&self) {
         self.core.cancel_requested.store(true, Ordering::SeqCst);
-        let state = self.core.state();
-        if state == JobState::Queued {
-            // Not yet started: no tasks to drain; settle it here. The
-            // dispatcher discards the queue entry when it reaches it.
+        // `Queued → Cancelled` and admission exclude each other under the
+        // state mutex: either this wins and the dispatcher's `try_admit`
+        // later skips the job (no budget charged, entry reaped as a
+        // terminal head), or admission won and the cooperative path
+        // below applies.
+        if self.core.finish_if_queued(JobState::Cancelled) {
+            // Not yet started: no tasks to drain; settle it here. Mark
+            // the group before waking waiters so the outcome they read
+            // is fully settled.
             self.core.group.cancel();
-            self.core.finish(JobState::Cancelled);
+            self.core.notify_waiters();
             return;
         }
-        if !state.is_terminal() {
+        if !self.core.state().is_terminal() {
             self.core.group.cancel();
         }
     }

@@ -62,6 +62,10 @@ struct Shared {
     dispatch_cv: Condvar,
     /// Sum of admitted (unfinished) jobs' costs.
     budget_in_use: AtomicU64,
+    /// Jobs popped from the queues but not yet pushed into `running`.
+    /// Incremented under the queues lock, so `wait_all` (which holds
+    /// that lock) cannot observe a job in neither structure.
+    admitting: AtomicU64,
     /// Jobs admitted and not yet terminal, for deadline scanning.
     running: Mutex<Vec<Arc<JobCore>>>,
     ids: AtomicU64,
@@ -105,6 +109,7 @@ impl JobService {
                 queues,
                 dispatch_cv: Condvar::new(),
                 budget_in_use: AtomicU64::new(0),
+                admitting: AtomicU64::new(0),
                 running: Mutex::new(Vec::new()),
                 ids: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
@@ -157,6 +162,12 @@ impl JobService {
             return handle;
         }
         let mut queues = shared.queues.lock();
+        if queues.len() >= shared.config.admission.max_queued_jobs {
+            // Entries that went terminal while waiting (handle-cancelled
+            // or deadline-expired) are only reaped lazily; don't let
+            // them cause a spurious QueueFull.
+            queues.reap_terminal();
+        }
         let queued = queues.len();
         if queued >= shared.config.admission.max_queued_jobs {
             drop(queues);
@@ -214,8 +225,15 @@ impl JobService {
     pub fn wait_all(&self) {
         loop {
             {
+                // Holding the queues lock excludes the dispatcher's
+                // pop+`admitting`-increment critical section, so a job
+                // in flight between the queues and `running` is always
+                // visible through one of the three checks.
                 let queues = self.shared.queues.lock();
-                if queues.len() == 0 && self.shared.running.lock().is_empty() {
+                if queues.len() == 0
+                    && self.shared.admitting.load(Ordering::SeqCst) == 0
+                    && self.shared.running.lock().is_empty()
+                {
                     return;
                 }
             }
@@ -286,15 +304,26 @@ fn dispatcher_loop(shared: Arc<Shared>) {
         // Deadlines: scan admitted jobs and queue heads.
         let now = Instant::now();
         {
-            let running = shared.running.lock();
-            for core in running.iter() {
-                if let Some(d) = core.spec.deadline {
-                    if now.duration_since(core.submitted_at) >= d
-                        && !core.timed_out.swap(true, Ordering::SeqCst)
-                    {
-                        core.group.cancel();
-                        // settle() runs from the group's quiescence hook.
-                    }
+            // Collect first, cancel after dropping the lock: cancel()
+            // can retire the group's last in-flight member, running the
+            // quiescence hook — and thus settle(), which takes
+            // `running` — inline on this thread.
+            let expired: Vec<Arc<JobCore>> = {
+                let running = shared.running.lock();
+                running
+                    .iter()
+                    .filter(|c| {
+                        c.spec
+                            .deadline
+                            .is_some_and(|d| now.duration_since(c.submitted_at) >= d)
+                    })
+                    .map(Arc::clone)
+                    .collect()
+            };
+            for core in expired {
+                if !core.timed_out.swap(true, Ordering::SeqCst) {
+                    core.group.cancel();
+                    // settle() runs from the group's quiescence hook.
                 }
             }
         }
@@ -327,14 +356,23 @@ fn dispatcher_loop(shared: Arc<Shared>) {
                 let max = shared.config.admission.max_in_flight_tasks;
                 let candidate = {
                     let mut queues = shared.queues.lock();
-                    queues.pop_next(|core| {
+                    let core = queues.pop_next(|core| {
                         let in_use = shared.budget_in_use.load(Ordering::SeqCst);
                         in_use == 0 || in_use + core.cost <= max
-                    })
+                    });
+                    if core.is_some() {
+                        // Under the queues lock: wait_all must never see
+                        // the job in neither the queues nor `running`.
+                        shared.admitting.fetch_add(1, Ordering::SeqCst);
+                    }
+                    core
                 };
                 match candidate {
                     None => break,
-                    Some(core) => admit(&shared, core),
+                    Some(core) => {
+                        admit(&shared, core);
+                        shared.admitting.fetch_sub(1, Ordering::SeqCst);
+                    }
                 }
             }
         }
@@ -351,6 +389,13 @@ fn dispatcher_loop(shared: Arc<Shared>) {
 /// Reserve budget, start the root task, and arm the settlement hook.
 /// Only the dispatcher thread calls this.
 fn admit(shared: &Arc<Shared>, core: Arc<JobCore>) {
+    // Queued → Admitted under the state mutex. Losing means the job went
+    // terminal (handle-cancelled) between pop_next and here: drop it
+    // without charging budget or starting anything — its waiters were
+    // already notified by whoever finished it.
+    if !core.try_admit() {
+        return;
+    }
     let now = Instant::now();
     shared.budget_in_use.fetch_add(core.cost, Ordering::SeqCst);
     *core.admitted_at.lock() = Some(now);
@@ -359,7 +404,6 @@ fn admit(shared: &Arc<Shared>, core: Arc<JobCore>) {
         .admission_latency
         .record(now.duration_since(core.submitted_at).as_nanos() as u64);
     shared.counters.admitted.incr();
-    core.set_state(JobState::Admitted);
 
     let body = core
         .body

@@ -128,6 +128,126 @@ fn deadline_expiry_reaps_a_job_stuck_in_the_queue() {
 }
 
 #[test]
+fn deadline_on_a_dormant_dataflow_reservation_settles_from_the_dispatcher() {
+    // At expiry the job's only in-flight member is a dormant dataflow
+    // reservation, so the dispatcher's cancel retires the group's last
+    // member and runs settle() inline on the dispatcher thread.
+    // Regression: the deadline scan used to hold the running lock across
+    // cancel(), self-deadlocking on settle()'s running.lock().
+    let service = JobService::new(single_worker_config());
+    let (_promise, never) = grain_runtime::channel::<u32>();
+    let job = service.submit(
+        JobSpec::new("dormant", "tenant-a").deadline(Duration::from_millis(30)),
+        move |ctx| {
+            let _ = ctx.dataflow(&[never], |_, _| unreachable!("input never arrives"));
+        },
+    );
+    let outcome = job
+        .wait_timeout(Duration::from_secs(5))
+        .expect("dispatcher deadlocked settling an expired dormant job");
+    assert_eq!(outcome.state, JobState::TimedOut);
+    assert_eq!(outcome.tasks_skipped, 1, "the reservation was released");
+}
+
+#[test]
+fn racing_cancel_with_admission_never_leaks_budget_or_running_entries() {
+    // Hammer the Queued→Cancelled vs Queued→Admitted race: each job is
+    // cancelled right after submission, while the dispatcher may be
+    // admitting it. Regression: a cancel landing between admission's
+    // state transitions could either leak the budget reservation (the
+    // job stayed in the running list forever) or be overwritten back to
+    // a non-terminal state.
+    let service = JobService::new(single_worker_config());
+    let jobs: Vec<_> = (0..200)
+        .map(|i| {
+            let job = service.submit(JobSpec::new(format!("racy-{i}"), "tenant-a"), |_| {});
+            job.cancel();
+            job
+        })
+        .collect();
+    for job in &jobs {
+        let outcome = job
+            .wait_timeout(Duration::from_secs(5))
+            .expect("cancel/admit race lost the terminal transition");
+        assert!(
+            matches!(outcome.state, JobState::Cancelled | JobState::Completed),
+            "unexpected terminal state {}",
+            outcome.state
+        );
+        assert!(job.state().is_terminal(), "terminal state was overwritten");
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || service.running_len() == 0
+            && service.queue_len() == 0),
+        "a settled job leaked budget or a running-list entry"
+    );
+}
+
+#[test]
+fn wait_all_covers_jobs_in_the_admission_window() {
+    // Regression: between the dispatcher popping a job off the queues
+    // and pushing it into the running list, wait_all used to see it in
+    // neither structure and return while work was about to start.
+    let service = JobService::new(single_worker_config());
+    for round in 0..50 {
+        let jobs: Vec<_> = (0..4)
+            .map(|i| service.submit(JobSpec::new(format!("w{round}-{i}"), "tenant-a"), |_| {}))
+            .collect();
+        service.wait_all();
+        for job in &jobs {
+            assert!(
+                job.state().is_terminal(),
+                "wait_all returned while a job was still {}",
+                job.state()
+            );
+        }
+    }
+}
+
+#[test]
+fn terminal_queue_entries_do_not_count_against_the_queue_bound() {
+    // A job cancelled while queued leaves a terminal entry behind until
+    // the dispatcher reaps it; submit() must not let it cause a spurious
+    // QueueFull rejection.
+    let config = ServiceConfig {
+        admission: AdmissionConfig {
+            max_in_flight_tasks: 1,
+            max_queued_jobs: 2,
+            ..AdmissionConfig::default()
+        },
+        ..single_worker_config()
+    };
+    let service = JobService::new(config);
+    let release = Arc::new(AtomicBool::new(false));
+    let r = Arc::clone(&release);
+    let blocker = service.submit(JobSpec::new("blocker", "tenant-a"), move |_| {
+        while !r.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    });
+    assert!(wait_until(Duration::from_secs(5), || {
+        blocker.state() == JobState::Running
+    }));
+    let q1 = service.submit(JobSpec::new("q1", "tenant-a"), |_| {});
+    let q2 = service.submit(JobSpec::new("q2", "tenant-a"), |_| {});
+    assert!(q1.rejection().is_none() && q2.rejection().is_none());
+    // The queue sits at its bound of 2; cancelling q1 leaves a terminal
+    // entry that must no longer count toward it.
+    q1.cancel();
+    assert_eq!(q1.wait().state, JobState::Cancelled);
+    let q3 = service.submit(JobSpec::new("q3", "tenant-a"), |_| {});
+    assert!(
+        q3.rejection().is_none(),
+        "terminal queue entry caused a spurious rejection: {:?}",
+        q3.rejection()
+    );
+    release.store(true, Ordering::SeqCst);
+    assert_eq!(blocker.wait().state, JobState::Completed);
+    assert_eq!(q2.wait().state, JobState::Completed);
+    assert_eq!(q3.wait().state, JobState::Completed);
+}
+
+#[test]
 fn backpressure_rejects_when_the_queue_is_full() {
     let config = ServiceConfig {
         admission: AdmissionConfig {
