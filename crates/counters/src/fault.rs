@@ -1,0 +1,191 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] is a pure function from a *task identity* to a
+//! [`FaultAction`], derived from a seed. It deliberately does **not**
+//! carry mutable RNG state: each decision seeds a fresh [`crate::Pcg32`]
+//! from `mix(seed, task, attempt)`, so the verdict for a task is
+//! independent of scheduling order and thread interleaving. Two runs with
+//! the same seed and the same task ids therefore inject *exactly* the
+//! same faults — the property the replay tests assert.
+//!
+//! The plan lives in this base crate so both the native runtime
+//! (`grain-runtime`, behind its `fault-inject` feature) and the
+//! discrete-event simulator (`grain-sim`) interpret one seed identically.
+
+use crate::rng::Pcg32;
+use std::time::Duration;
+
+/// What the injector should do to one task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Run the task normally.
+    None,
+    /// Panic before the task body runs (exercises panic isolation).
+    Panic,
+    /// Sleep for the given duration before the task body runs
+    /// (exercises watchdog/stall and timeout paths).
+    Delay(Duration),
+    /// Wake a parked worker for no reason before the task body runs
+    /// (exercises spurious-wakeup tolerance of the parking protocol).
+    SpuriousWake,
+}
+
+impl FaultAction {
+    /// `true` unless the action is [`FaultAction::None`].
+    pub fn is_fault(&self) -> bool {
+        !matches!(self, FaultAction::None)
+    }
+}
+
+/// A seeded, deterministic schedule of injected faults.
+///
+/// Rates are probabilities in `[0, 1]` evaluated per task attempt, in
+/// priority order: panic, then delay, then spurious wake (at most one
+/// action fires per attempt).
+///
+/// ```
+/// use grain_counters::fault::{FaultAction, FaultPlan};
+///
+/// let plan = FaultPlan::new(42).with_panic_rate(0.5);
+/// // Same seed + same task id => same verdict, always.
+/// assert_eq!(plan.decide(7, 0), plan.decide(7, 0));
+/// // A retry (attempt 1) rolls an independent verdict.
+/// let _second = plan.decide(7, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    panic_rate: f64,
+    delay_rate: f64,
+    delay: Duration,
+    spurious_wake_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and all rates zero.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            panic_rate: 0.0,
+            delay_rate: 0.0,
+            delay: Duration::from_millis(1),
+            spurious_wake_rate: 0.0,
+        }
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Probability that a task attempt panics before running.
+    pub fn with_panic_rate(mut self, rate: f64) -> Self {
+        self.panic_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that a task attempt is delayed, and by how much.
+    pub fn with_delay(mut self, rate: f64, delay: Duration) -> Self {
+        self.delay_rate = rate.clamp(0.0, 1.0);
+        self.delay = delay;
+        self
+    }
+
+    /// Probability that a task attempt triggers a spurious worker wake.
+    pub fn with_spurious_wake_rate(mut self, rate: f64) -> Self {
+        self.spurious_wake_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// `true` if no configured rate can ever fire.
+    pub fn is_empty(&self) -> bool {
+        self.panic_rate == 0.0 && self.delay_rate == 0.0 && self.spurious_wake_rate == 0.0
+    }
+
+    /// The verdict for attempt `attempt` of task `task`.
+    ///
+    /// Pure: depends only on `(seed, task, attempt)`.
+    pub fn decide(&self, task: u64, attempt: u64) -> FaultAction {
+        if self.is_empty() {
+            return FaultAction::None;
+        }
+        let mut rng = Pcg32::seed_from_u64(mix(mix(self.seed, task), attempt));
+        if rng.next_f64() < self.panic_rate {
+            return FaultAction::Panic;
+        }
+        if rng.next_f64() < self.delay_rate {
+            return FaultAction::Delay(self.delay);
+        }
+        if rng.next_f64() < self.spurious_wake_rate {
+            return FaultAction::SpuriousWake;
+        }
+        FaultAction::None
+    }
+}
+
+/// SplitMix64 finalizer: a strong 64→64 bit mix so that nearby
+/// `(seed, task)` pairs seed unrelated PCG streams.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_faults() {
+        let plan = FaultPlan::new(1);
+        for t in 0..1_000 {
+            assert_eq!(plan.decide(t, 0), FaultAction::None);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_order_free() {
+        let plan = FaultPlan::new(0xDEAD)
+            .with_panic_rate(0.3)
+            .with_delay(0.3, Duration::from_micros(50))
+            .with_spurious_wake_rate(0.3);
+        let forward: Vec<_> = (0..500).map(|t| plan.decide(t, 0)).collect();
+        let backward: Vec<_> = (0..500).rev().map(|t| plan.decide(t, 0)).collect();
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>(),
+            "a decision must not depend on evaluation order"
+        );
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = FaultPlan::new(7).with_panic_rate(0.25);
+        let n = 10_000;
+        let panics = (0..n)
+            .filter(|&t| plan.decide(t, 0) == FaultAction::Panic)
+            .count();
+        let frac = panics as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "panic fraction {frac}");
+    }
+
+    #[test]
+    fn attempts_roll_independent_verdicts() {
+        let plan = FaultPlan::new(3).with_panic_rate(0.5);
+        // With p=0.5 per attempt, some task must see a panic followed by
+        // a clean retry — that's what makes retry-until-success testable.
+        let recovered = (0..100).any(|t| {
+            plan.decide(t, 0) == FaultAction::Panic && plan.decide(t, 1) == FaultAction::None
+        });
+        assert!(recovered, "no task recovers on retry with p=0.5?");
+    }
+
+    #[test]
+    fn panic_rate_one_always_panics() {
+        let plan = FaultPlan::new(9).with_panic_rate(1.0);
+        for t in 0..100 {
+            assert_eq!(plan.decide(t, 0), FaultAction::Panic);
+        }
+    }
+}

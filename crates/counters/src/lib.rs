@@ -70,10 +70,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod derived;
+pub mod fault;
 pub mod histogram;
 pub mod path;
 pub mod raw;
 pub mod registry;
+pub mod rng;
 pub mod sampler;
 pub mod snapshot;
 pub mod stats;
@@ -82,10 +84,12 @@ pub mod threads;
 pub mod value;
 
 pub use derived::{average_of, ratio_of, DerivedCounter};
+pub use fault::{FaultAction, FaultPlan};
 pub use histogram::LogHistogram;
 pub use path::CounterPath;
 pub use raw::{RawCounter, Sharded};
 pub use registry::{Counter, Registry, RegistryError, ScopedRegistry};
+pub use rng::Pcg32;
 pub use sampler::{Sample, Sampler};
 pub use snapshot::{Interval, Snapshot};
 pub use stats::SampleStats;

@@ -11,6 +11,18 @@
 use std::sync::PoisonError;
 use std::time::Duration;
 
+/// Recover the guard (or value) from a possibly-poisoned lock result.
+///
+/// This is the single place the workspace converts `PoisonError` into a
+/// usable guard: a panic inside a task must never cascade into
+/// `lock().unwrap()` panics on every other thread touching shared
+/// scheduler state. All wrappers in this module go through it, and code
+/// that must use `std::sync` primitives directly (e.g. inside a
+/// `Condvar::wait` loop) should call it instead of `.unwrap()`.
+pub fn lock_or_recover<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Mutual exclusion, recovering from poisoning.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
@@ -33,7 +45,7 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard {
-            inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)),
+            inner: Some(lock_or_recover(self.0.lock())),
         }
     }
 }
@@ -74,7 +86,7 @@ impl Condvar {
     /// Block until notified, releasing the guard while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard taken by condvar wait");
-        let inner = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        let inner = lock_or_recover(self.0.wait(inner));
         guard.inner = Some(inner);
     }
 
@@ -82,10 +94,7 @@ impl Condvar {
     /// wait timed out.
     pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
         let inner = guard.inner.take().expect("guard taken by condvar wait");
-        let (inner, res) = self
-            .0
-            .wait_timeout(inner, timeout)
-            .unwrap_or_else(PoisonError::into_inner);
+        let (inner, res) = lock_or_recover(self.0.wait_timeout(inner, timeout));
         guard.inner = Some(inner);
         res.timed_out()
     }
@@ -105,12 +114,12 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read guard.
     pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        lock_or_recover(self.0.read())
     }
 
     /// Acquire an exclusive write guard.
     pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        lock_or_recover(self.0.write())
     }
 }
 

@@ -44,6 +44,9 @@ pub struct ThreadCounters {
     pub converted: Arc<Sharded>,
     /// Tasks spawned by code running on this worker.
     pub spawned: Arc<Sharded>,
+    /// Tasks whose phase panicked and were isolated
+    /// (`/threads/count/faulted`).
+    pub faulted: Arc<Sharded>,
     /// Distribution of per-phase execution times, ns (log₂ buckets).
     pub exec_histogram: Arc<crate::histogram::LogHistogram>,
 }
@@ -65,6 +68,7 @@ impl ThreadCounters {
             stolen: mk(),
             converted: mk(),
             spawned: mk(),
+            faulted: mk(),
             exec_histogram: Arc::new(crate::histogram::LogHistogram::new()),
         }
     }
@@ -134,6 +138,7 @@ impl ThreadCounters {
             ("count/stolen", &self.stolen),
             ("count/converted", &self.converted),
             ("count/spawned", &self.spawned),
+            ("count/faulted", &self.faulted),
         ];
         for (name, c) in counts {
             registry.register(&total(name), ShardedTotal::new(Arc::clone(c), Unit::Count))?;

@@ -52,7 +52,12 @@ pub fn parallel_for(
         lo = hi;
     }
     let (promise, done) = channel();
-    when_all(&chunks).on_ready(move |_| promise.set(()));
+    when_all(&chunks).on_settled(move |outcome| match outcome {
+        Ok(_) => promise.set(()),
+        // A panicking chunk faults the whole loop's future with the
+        // chunk's error as the cause chain.
+        Err(e) => promise.fail(e.clone()),
+    });
     done
 }
 
@@ -92,12 +97,15 @@ where
     }
     let (promise, out) = channel();
     let reduce2 = Arc::clone(&reduce);
-    when_all(&chunks).on_ready(move |parts| {
-        let mut acc = identity;
-        for p in parts.iter() {
-            acc = reduce2(acc, (**p).clone());
+    when_all(&chunks).on_settled(move |outcome| match outcome {
+        Ok(parts) => {
+            let mut acc = identity;
+            for p in parts.iter() {
+                acc = reduce2(acc, (**p).clone());
+            }
+            promise.set(acc);
         }
-        promise.set(acc);
+        Err(e) => promise.fail(e.clone()),
     });
     out
 }

@@ -6,26 +6,37 @@
 //! cooperative user-level threads, not poll-based async — so we implement
 //! the HPX shape directly:
 //!
-//! * [`Promise`] — single producer; [`Promise::set`] publishes a value.
+//! * [`Promise`] — single producer; [`Promise::set`] publishes a value,
+//!   [`Promise::fail`] publishes an error. Dropping a promise unfulfilled
+//!   settles the future with [`TaskError::BrokenPromise`] (or the panic /
+//!   cancellation that caused the drop), so consumers are never stranded.
 //! * [`SharedFuture`] — many consumers; readable any number of times
 //!   (values are `Arc`-shared), attachable continuations, blocking `get`
-//!   for external (non-worker) threads.
+//!   for external (non-worker) threads. A future *settles* exactly once:
+//!   either ready with a value or faulted with a [`TaskError`].
 //! * [`when_all`] — N-ary conjunction, the edge/intermediate nodes of the
-//!   dependency graph in the paper's Fig. 2.
+//!   dependency graph in the paper's Fig. 2. The first faulted input
+//!   faults the conjunction with a [`TaskError::Dependency`] cause chain.
 //!
-//! Continuations run inline on the thread that fulfills the promise,
+//! Continuations run inline on the thread that settles the promise,
 //! which on a worker means "as part of the completing task's phase" —
 //! the same attribution HPX uses for cheap continuations.
 
+use crate::fault::{self, TaskError};
 use grain_counters::sync::{Condvar, Mutex};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Callback attached to a future.
-type Continuation<T> = Box<dyn FnOnce(&Arc<T>) + Send>;
+/// The settled outcome of a future: a shared value or the task error.
+pub type Settled<T> = Result<Arc<T>, TaskError>;
+
+/// Callback attached to a future; observes the settled outcome.
+type Continuation<T> = Box<dyn FnOnce(&Settled<T>) + Send>;
 
 enum State<T> {
     Empty(Vec<Continuation<T>>),
     Ready(Arc<T>),
+    Faulted(TaskError),
 }
 
 struct Shared<T> {
@@ -33,11 +44,40 @@ struct Shared<T> {
     ready: Condvar,
 }
 
-/// The write end of a future. Dropping a promise without setting it leaves
-/// the future forever empty (consumers relying on `get` would block; the
-/// runtime's dataflow layer never drops promises unfulfilled).
+impl<T> Shared<T> {
+    /// Settle the future (value or error), waking blocked waiters and
+    /// running all attached continuations inline on this thread.
+    ///
+    /// # Panics
+    /// Panics if the future was already settled.
+    fn settle(&self, outcome: Settled<T>) {
+        let new_state = match &outcome {
+            Ok(v) => State::Ready(Arc::clone(v)),
+            Err(e) => State::Faulted(e.clone()),
+        };
+        let continuations = {
+            let mut st = self.state.lock();
+            match std::mem::replace(&mut *st, new_state) {
+                State::Empty(conts) => conts,
+                State::Ready(_) | State::Faulted(_) => panic!("promise fulfilled twice"),
+            }
+        };
+        self.ready.notify_all();
+        for c in continuations {
+            c(&outcome);
+        }
+    }
+}
+
+/// The write end of a future.
+///
+/// Exactly one settle happens per promise: [`Promise::set`],
+/// [`Promise::fail`], or — if the promise is dropped unfulfilled — an
+/// automatic fault carrying the reason for the drop (the captured panic
+/// message when dropped by an unwind, [`TaskError::Cancelled`] when the
+/// owning task was skipped, [`TaskError::BrokenPromise`] otherwise).
 pub struct Promise<T> {
-    shared: Arc<Shared<T>>,
+    shared: Option<Arc<Shared<T>>>,
 }
 
 /// The read end: shareable, clonable, multi-consumer.
@@ -61,7 +101,7 @@ pub fn channel<T>() -> (Promise<T>, SharedFuture<T>) {
     });
     (
         Promise {
-            shared: Arc::clone(&shared),
+            shared: Some(Arc::clone(&shared)),
         },
         SharedFuture { shared },
     )
@@ -73,19 +113,42 @@ impl<T> Promise<T> {
     ///
     /// # Panics
     /// Panics if the promise was already fulfilled.
-    pub fn set(self, value: T) {
-        let value = Arc::new(value);
-        let continuations = {
-            let mut st = self.shared.state.lock();
-            match std::mem::replace(&mut *st, State::Ready(Arc::clone(&value))) {
-                State::Empty(conts) => conts,
-                State::Ready(_) => panic!("promise fulfilled twice"),
-            }
+    pub fn set(mut self, value: T) {
+        let shared = self.shared.take().expect("promise already consumed");
+        shared.settle(Ok(Arc::new(value)));
+    }
+
+    /// Publish an error instead of a value. Waiters and continuations
+    /// observe `Err(error)`.
+    ///
+    /// # Panics
+    /// Panics if the promise was already fulfilled.
+    pub fn fail(mut self, error: TaskError) {
+        let shared = self.shared.take().expect("promise already consumed");
+        shared.settle(Err(error));
+    }
+}
+
+impl<T> Drop for Promise<T> {
+    fn drop(&mut self) {
+        let Some(shared) = self.shared.take() else {
+            return; // consumed by set/fail
         };
-        self.shared.ready.notify_all();
-        for c in continuations {
-            c(&value);
-        }
+        // Dropped unfulfilled: settle with the most specific error we can
+        // attribute. During an unwind the panic hook has captured the
+        // message; deliberate teardown (cancellation skip, post-panic
+        // frame disposal) sets an ambient drop reason.
+        let error = if std::thread::panicking() {
+            TaskError::Panicked {
+                message: fault::captured_panic()
+                    .unwrap_or_else(|| "task panicked (message unavailable)".to_string()),
+            }
+        } else if let Some(reason) = fault::drop_reason() {
+            reason
+        } else {
+            TaskError::BrokenPromise
+        };
+        shared.settle(Err(error));
     }
 }
 
@@ -97,17 +160,40 @@ impl<T> SharedFuture<T> {
         f
     }
 
-    /// The value, if already available.
-    pub fn try_get(&self) -> Option<Arc<T>> {
+    /// A future that is already faulted with `error`.
+    pub fn faulted(error: TaskError) -> Self {
+        let (p, f) = channel();
+        p.fail(error);
+        f
+    }
+
+    /// The settled outcome, if the future has settled: `Some(Ok(value))`
+    /// once ready, `Some(Err(error))` once faulted, `None` while pending.
+    pub fn try_get(&self) -> Option<Settled<T>> {
         match &*self.shared.state.lock() {
-            State::Ready(v) => Some(Arc::clone(v)),
+            State::Ready(v) => Some(Ok(Arc::clone(v))),
+            State::Faulted(e) => Some(Err(e.clone())),
             State::Empty(_) => None,
         }
     }
 
-    /// True once the value is available.
+    /// True once the future has settled (ready *or* faulted) — i.e. a
+    /// suspended task waiting on it would be resumed.
     pub fn is_ready(&self) -> bool {
         self.try_get().is_some()
+    }
+
+    /// True if the future settled with an error.
+    pub fn is_faulted(&self) -> bool {
+        matches!(self.try_get(), Some(Err(_)))
+    }
+
+    /// The error the future faulted with, if it did.
+    pub fn error(&self) -> Option<TaskError> {
+        match self.try_get() {
+            Some(Err(e)) => Some(e),
+            _ => None,
+        }
     }
 
     /// Block the calling thread until the value is available.
@@ -116,25 +202,62 @@ impl<T> SharedFuture<T> {
     /// A worker thread must never block here — it would stall its queue;
     /// tasks wait by suspension instead
     /// ([`crate::runtime::TaskContext::suspend_until`]).
+    ///
+    /// # Panics
+    /// Panics if the future faults (producing task panicked, was
+    /// cancelled, or lost its promise). Use [`SharedFuture::wait`] or
+    /// [`SharedFuture::wait_timeout`] for a fallible join.
     pub fn get(&self) -> Arc<T> {
+        match self.wait() {
+            Ok(v) => v,
+            Err(e) => panic!("SharedFuture::get on a faulted future: {e}"),
+        }
+    }
+
+    /// Block until the future settles; the fallible form of
+    /// [`SharedFuture::get`].
+    pub fn wait(&self) -> Settled<T> {
         let mut st = self.shared.state.lock();
         loop {
             match &*st {
-                State::Ready(v) => return Arc::clone(v),
+                State::Ready(v) => return Ok(Arc::clone(v)),
+                State::Faulted(e) => return Err(e.clone()),
                 State::Empty(_) => self.shared.ready.wait(&mut st),
             }
         }
     }
 
-    /// Attach a continuation: runs immediately (inline) if the value is
-    /// already available, otherwise at `set` time on the fulfilling
-    /// thread.
-    pub fn on_ready(&self, f: impl FnOnce(&Arc<T>) + Send + 'static) {
+    /// Block until the future settles or `timeout` elapses. Returns
+    /// `Err(TaskError::Timeout)` on expiry — the only blocking join safe
+    /// against a stalled producer.
+    pub fn wait_timeout(&self, timeout: Duration) -> Settled<T> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock();
+        loop {
+            match &*st {
+                State::Ready(v) => return Ok(Arc::clone(v)),
+                State::Faulted(e) => return Err(e.clone()),
+                State::Empty(_) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(TaskError::Timeout { waited: timeout });
+                    }
+                    self.shared.ready.wait_for(&mut st, deadline - now);
+                }
+            }
+        }
+    }
+
+    /// Attach a continuation observing the settled outcome: runs
+    /// immediately (inline) if already settled, otherwise at settle time
+    /// on the settling thread.
+    pub fn on_settled(&self, f: impl FnOnce(&Settled<T>) + Send + 'static) {
         let mut f = Some(f);
         let run_now = {
             let mut st = self.shared.state.lock();
             match &mut *st {
-                State::Ready(v) => Some(Arc::clone(v)),
+                State::Ready(v) => Some(Ok(Arc::clone(v))),
+                State::Faulted(e) => Some(Err(e.clone())),
                 State::Empty(conts) => {
                     let f = f.take().unwrap();
                     conts.push(Box::new(f));
@@ -142,14 +265,27 @@ impl<T> SharedFuture<T> {
                 }
             }
         };
-        if let Some(v) = run_now {
-            (f.take().unwrap())(&v);
+        if let Some(outcome) = run_now {
+            (f.take().unwrap())(&outcome);
         }
+    }
+
+    /// Attach a continuation that runs only if the future becomes ready
+    /// with a value (a fault silently skips it — prefer
+    /// [`SharedFuture::on_settled`] when the error path matters).
+    pub fn on_ready(&self, f: impl FnOnce(&Arc<T>) + Send + 'static) {
+        self.on_settled(move |outcome| {
+            if let Ok(v) = outcome {
+                f(v);
+            }
+        });
     }
 }
 
 /// A future for the conjunction of `futures`: ready when all inputs are,
-/// carrying the input values in order.
+/// carrying the input values in order — or faulted as soon as any input
+/// faults, with that input's error as the [`TaskError::Dependency`]
+/// cause.
 ///
 /// This is the paper's dependency-graph "intermediate node": HPX-Stencil
 /// combines the three neighbouring partitions of the previous time step
@@ -174,21 +310,36 @@ pub fn when_all<T: Send + Sync + 'static>(
 
     for (i, fut) in futures.iter().enumerate() {
         let gather = Arc::clone(&gather);
-        fut.on_ready(move |v| {
-            let finished = {
-                let mut g = gather.slots.lock();
-                debug_assert!(g.0[i].is_none(), "when_all slot filled twice");
-                g.0[i] = Some(Arc::clone(v));
-                g.1 += 1;
-                if g.1 == n {
-                    let values = g.0.iter_mut().map(|s| s.take().unwrap()).collect();
-                    Some((g.2.take().unwrap(), values))
-                } else {
-                    None
+        fut.on_settled(move |outcome| {
+            match outcome {
+                Ok(v) => {
+                    let finished = {
+                        let mut g = gather.slots.lock();
+                        debug_assert!(g.0[i].is_none(), "when_all slot filled twice");
+                        g.0[i] = Some(Arc::clone(v));
+                        g.1 += 1;
+                        if g.1 == n {
+                            // A faulted sibling may have consumed the
+                            // promise already; then there is nothing to do.
+                            g.2.take()
+                                .map(|p| (p, g.0.iter_mut().map(|s| s.take().unwrap()).collect()))
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some((promise, values)) = finished {
+                        promise.set(values);
+                    }
                 }
-            };
-            if let Some((promise, values)) = finished {
-                promise.set(values);
+                Err(e) => {
+                    // First fault wins; the conjunction inherits it.
+                    let promise = gather.slots.lock().2.take();
+                    if let Some(promise) = promise {
+                        promise.fail(TaskError::Dependency {
+                            cause: Arc::new(e.clone()),
+                        });
+                    }
+                }
             }
         });
     }
@@ -205,8 +356,9 @@ mod tests {
         let (p, f) = channel();
         p.set(42);
         assert_eq!(*f.get(), 42);
-        assert_eq!(*f.try_get().unwrap(), 42);
+        assert_eq!(*f.try_get().unwrap().unwrap(), 42);
         assert!(f.is_ready());
+        assert!(!f.is_faulted());
     }
 
     #[test]
@@ -223,21 +375,61 @@ mod tests {
     }
 
     #[test]
+    fn faulted_constructor_and_error() {
+        let f = SharedFuture::<i32>::faulted(TaskError::Cancelled);
+        assert!(f.is_ready(), "faulted counts as settled");
+        assert!(f.is_faulted());
+        assert_eq!(f.error(), Some(TaskError::Cancelled));
+        assert_eq!(f.wait(), Err(TaskError::Cancelled));
+    }
+
+    #[test]
     #[should_panic(expected = "fulfilled twice")]
     fn double_set_panics() {
         let (p, f) = channel();
         p.set(1);
         // A second promise to the same shared state can't be constructed
-        // through the public API; simulate the error via a cloned future
-        // feeding a second channel — instead check the direct panic by
-        // reconstructing a Promise. Easiest legal repro: set through two
-        // promises is impossible, so emulate by calling set twice via
-        // unsafe clone — not possible either. Instead: on_ready + set is
-        // fine; this test exercises the panic with a hand-made promise.
+        // through the public API; exercise the internal double-settle
+        // guard with a hand-made promise.
         let p2 = Promise {
-            shared: Arc::clone(&f.shared),
+            shared: Some(Arc::clone(&f.shared)),
         };
         p2.set(2);
+    }
+
+    #[test]
+    fn dropped_promise_faults_with_broken_promise() {
+        let (p, f) = channel::<u8>();
+        drop(p);
+        assert_eq!(f.error(), Some(TaskError::BrokenPromise));
+        assert_eq!(f.wait(), Err(TaskError::BrokenPromise));
+    }
+
+    #[test]
+    #[should_panic(expected = "faulted future")]
+    fn get_on_faulted_future_panics() {
+        let f = SharedFuture::<u8>::faulted(TaskError::BrokenPromise);
+        let _ = f.get();
+    }
+
+    #[test]
+    fn wait_timeout_expires_on_pending_future() {
+        let (_p, f) = channel::<u8>();
+        match f.wait_timeout(Duration::from_millis(5)) {
+            Err(TaskError::Timeout { waited }) => {
+                assert_eq!(waited, Duration::from_millis(5));
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_timeout_returns_value_when_set() {
+        let (p, f) = channel();
+        let t = std::thread::spawn(move || f.wait_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        p.set(3u8);
+        assert_eq!(*t.join().unwrap().unwrap(), 3);
     }
 
     #[test]
@@ -263,6 +455,26 @@ mod tests {
             h.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn on_ready_is_skipped_on_fault_but_on_settled_fires() {
+        let (p, f) = channel::<u8>();
+        let ready_hits = Arc::new(AtomicUsize::new(0));
+        let settled_errs = Arc::new(AtomicUsize::new(0));
+        let rh = Arc::clone(&ready_hits);
+        f.on_ready(move |_| {
+            rh.fetch_add(1, Ordering::SeqCst);
+        });
+        let se = Arc::clone(&settled_errs);
+        f.on_settled(move |outcome| {
+            if outcome.is_err() {
+                se.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        p.fail(TaskError::Cancelled);
+        assert_eq!(ready_hits.load(Ordering::SeqCst), 0);
+        assert_eq!(settled_errs.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -315,6 +527,38 @@ mod tests {
         p2.set(2);
         let vals: Vec<i32> = out.get().iter().map(|a| **a).collect();
         assert_eq!(vals, vec![1, 2]);
+    }
+
+    #[test]
+    fn when_all_faults_on_first_faulted_input() {
+        let (p1, f1) = channel::<i32>();
+        let (p2, f2) = channel::<i32>();
+        let out = when_all(&[f1, f2]);
+        p1.fail(TaskError::Panicked {
+            message: "boom".into(),
+        });
+        let err = out.error().expect("conjunction must fault");
+        assert_eq!(
+            err.root_cause(),
+            &TaskError::Panicked {
+                message: "boom".into()
+            }
+        );
+        assert_eq!(err.chain_len(), 1);
+        // A late sibling value must not double-settle.
+        p2.set(2);
+        assert!(out.is_faulted());
+    }
+
+    #[test]
+    fn when_all_fault_after_values_still_faults() {
+        let (p1, f1) = channel::<i32>();
+        let (p2, f2) = channel::<i32>();
+        let out = when_all(&[f1, f2]);
+        p1.set(1);
+        p2.fail(TaskError::Cancelled);
+        assert!(out.is_faulted());
+        assert_eq!(out.error().unwrap().root_cause(), &TaskError::Cancelled);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! joins its parent's group automatically, so a whole DAG spawned from a
 //! grouped root is covered by the root's group.
 
+use crate::fault::TaskError;
 use grain_counters::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -57,6 +58,8 @@ impl CancelToken {
     }
 }
 
+type FaultHook = Box<dyn FnOnce(&TaskError) + Send>;
+
 #[derive(Default)]
 struct Hooks {
     /// Callbacks to run when the group next becomes quiescent.
@@ -64,6 +67,9 @@ struct Hooks {
     /// Callbacks to run when the group is cancelled (used by grouped
     /// dataflow nodes to release their reservations).
     cancel: Vec<Box<dyn FnOnce() + Send>>,
+    /// Callbacks to run when the group's first fault is recorded (used by
+    /// the job service's fail-fast policy).
+    fault: Vec<FaultHook>,
 }
 
 /// A group of related tasks with in-flight accounting, a completion
@@ -74,7 +80,9 @@ pub struct TaskGroup {
     spawned: AtomicU64,
     completed: AtomicU64,
     skipped: AtomicU64,
+    faulted: AtomicU64,
     exec_ns: AtomicU64,
+    first_fault: Mutex<Option<TaskError>>,
     hooks: Mutex<Hooks>,
     cv: Condvar,
 }
@@ -87,7 +95,9 @@ impl Default for TaskGroup {
             spawned: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
+            faulted: AtomicU64::new(0),
             exec_ns: AtomicU64::new(0),
+            first_fault: Mutex::new(None),
             hooks: Mutex::new(Hooks::default()),
             cv: Condvar::new(),
         }
@@ -145,6 +155,18 @@ impl TaskGroup {
         self.skipped.load(Ordering::SeqCst)
     }
 
+    /// Members whose body panicked (isolated) or inherited a dependency
+    /// fault.
+    pub fn faulted(&self) -> u64 {
+        self.faulted.load(Ordering::SeqCst)
+    }
+
+    /// The first fault recorded since the last
+    /// [`reset_faults`](Self::reset_faults), if any.
+    pub fn first_fault(&self) -> Option<TaskError> {
+        self.first_fault.lock().clone()
+    }
+
     /// Total execution nanoseconds accumulated by the group's phases.
     pub fn exec_ns(&self) -> u64 {
         self.exec_ns.load(Ordering::SeqCst)
@@ -176,6 +198,55 @@ impl TaskGroup {
     pub fn exit_skipped(&self) {
         self.skipped.fetch_add(1, Ordering::SeqCst);
         self.exit();
+    }
+
+    /// A member terminated in the `Faulted` state (its body panicked, or
+    /// a dependency fault propagated into it). Records the group's first
+    /// fault, fires [`on_fault`](Self::on_fault) hooks, then exits. Pairs
+    /// with [`enter`](Self::enter).
+    pub fn exit_faulted(&self, error: TaskError) {
+        self.faulted.fetch_add(1, Ordering::SeqCst);
+        let hooks = {
+            let mut first = self.first_fault.lock();
+            if first.is_none() {
+                *first = Some(error.clone());
+            }
+            let mut g = self.hooks.lock();
+            std::mem::take(&mut g.fault)
+        };
+        for h in hooks {
+            h(&error);
+        }
+        self.exit();
+    }
+
+    /// Run `f` when the group records a fault. If a fault is already
+    /// recorded, `f` runs inline with the first fault. Hooks fire once
+    /// (on the fault that drains them) and are *not* re-armed by
+    /// [`reset_faults`](Self::reset_faults).
+    pub fn on_fault(&self, f: impl FnOnce(&TaskError) + Send + 'static) {
+        let already = {
+            let first = self.first_fault.lock();
+            match &*first {
+                Some(e) => Some(e.clone()),
+                None => {
+                    let mut g = self.hooks.lock();
+                    g.fault.push(Box::new(f));
+                    return;
+                }
+            }
+        };
+        if let Some(e) = already {
+            f(&e);
+        }
+    }
+
+    /// Clear the fault count and the recorded first fault (the job
+    /// service calls this before re-running a retried job in the same
+    /// group). Cumulative spawn/complete/skip counters are *not* reset.
+    pub fn reset_faults(&self) {
+        *self.first_fault.lock() = None;
+        self.faulted.store(0, Ordering::SeqCst);
     }
 
     fn exit(&self) {
@@ -256,6 +327,7 @@ impl std::fmt::Debug for TaskGroup {
             .field("spawned", &self.spawned())
             .field("completed", &self.completed())
             .field("skipped", &self.skipped())
+            .field("faulted", &self.faulted())
             .field("cancelled", &self.is_cancelled())
             .finish()
     }
@@ -334,6 +406,39 @@ mod tests {
         g.wait();
         assert_eq!(g.in_flight(), 0);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn fault_records_first_error_and_fires_hooks() {
+        let g = TaskGroup::new();
+        g.enter();
+        g.enter();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        g.on_fault(move |e| s.lock().push(e.clone()));
+        g.exit_faulted(TaskError::Panicked {
+            message: "first".into(),
+        });
+        g.exit_faulted(TaskError::Panicked {
+            message: "second".into(),
+        });
+        assert_eq!(g.faulted(), 2);
+        assert_eq!(
+            g.first_fault(),
+            Some(TaskError::Panicked {
+                message: "first".into()
+            })
+        );
+        // The hook fired once, on the first fault.
+        assert_eq!(seen.lock().len(), 1);
+        // Hooks registered after a fault run inline.
+        let s = Arc::clone(&seen);
+        g.on_fault(move |e| s.lock().push(e.clone()));
+        assert_eq!(seen.lock().len(), 2);
+        // Reset clears the record for a retry attempt.
+        g.reset_faults();
+        assert_eq!(g.faulted(), 0);
+        assert!(g.first_fault().is_none());
     }
 
     #[test]

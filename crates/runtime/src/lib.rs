@@ -57,6 +57,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod algorithms;
+pub mod fault;
 pub mod future;
 pub mod group;
 pub mod queue;
@@ -66,8 +67,10 @@ pub mod task;
 pub mod trace;
 mod worker;
 
-pub use future::{channel, when_all, Promise, SharedFuture};
+pub use fault::{TaskError, WatchdogConfig};
+pub use future::{channel, when_all, Promise, Settled, SharedFuture};
 pub use grain_counters::threads::ThreadCounters;
+pub use grain_counters::{FaultAction, FaultPlan};
 pub use group::{CancelToken, TaskGroup};
 pub use runtime::{Runtime, RuntimeConfig, TaskContext};
 pub use scheduler::{Provenance, Scheduler, SchedulerKind};

@@ -1,17 +1,18 @@
 //! The runtime: worker pool, spawn paths, task context, termination.
 
+use crate::fault::{TaskError, WatchdogConfig};
 use crate::future::{channel, when_all, SharedFuture};
 use crate::group::{CancelToken, TaskGroup};
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::task::{Poll, Priority, StagedTask, Task, TaskId, TaskIdAllocator, TaskState};
 use grain_counters::sync::{Condvar, Mutex};
 use grain_counters::threads::ThreadCounters;
-use grain_counters::Registry;
+use grain_counters::{FaultPlan, RawCounter, Registry, Unit};
 use grain_topology::{host, NumaTopology};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Runtime configuration. Start from [`RuntimeConfig::default`] (all host
 /// cores, the paper's Priority Local-FIFO policy) and override fields.
@@ -34,6 +35,15 @@ pub struct RuntimeConfig {
     /// Record per-worker task-event timelines (see [`crate::trace`]).
     /// Off by default: tracing costs one buffer append per phase.
     pub trace: bool,
+    /// Deterministic fault-injection plan. `None` (default) injects
+    /// nothing. Only consulted when the crate is built with the
+    /// `fault-inject` feature — release builds without it compile the
+    /// injection hooks out entirely.
+    pub fault_plan: Option<FaultPlan>,
+    /// Stall watchdog. `None` (default) runs no monitor thread; `Some`
+    /// starts one that samples progress every `interval` and reports
+    /// stalls (see [`WatchdogConfig`] and `/runtime/watchdog/*`).
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -46,6 +56,8 @@ impl Default for RuntimeConfig {
             spin_rounds: 8,
             park_timeout: Duration::from_micros(200),
             trace: false,
+            fault_plan: None,
+            watchdog: None,
         }
     }
 }
@@ -71,6 +83,17 @@ struct IdleGate {
     cv: Condvar,
 }
 
+/// Watchdog event counters, registered as `/runtime{...}/watchdog/*`.
+pub(crate) struct WatchdogCounters {
+    /// Progress samples taken.
+    pub(crate) checks: Arc<RawCounter>,
+    /// Stall episodes detected (no progress for `stall_after` while work
+    /// existed).
+    pub(crate) stalls: Arc<RawCounter>,
+    /// Diagnostic dumps emitted (one per stall episode).
+    pub(crate) dumps: Arc<RawCounter>,
+}
+
 /// Shared state of a runtime: queues, counters, lifecycle flags.
 pub(crate) struct Inner {
     pub(crate) scheduler: Scheduler,
@@ -85,8 +108,21 @@ pub(crate) struct Inner {
     pub(crate) active_limit: AtomicUsize,
     pub(crate) tracer: crate::trace::Tracer,
     pub(crate) config: RuntimeConfig,
+    /// Dormant dataflow reservations: nodes whose dependencies have not
+    /// settled yet. Not part of `in_flight` (no task exists yet), but
+    /// still "work the runtime owes" — the watchdog counts them when
+    /// judging whether a flat progress signature is a stall (a dependency
+    /// cycle is exactly `in_flight == 0 && dormant > 0`, forever).
+    pub(crate) dormant: AtomicUsize,
+    /// Worker threads that died from an uncontained panic (e.g. a
+    /// runtime-internal bug). Non-zero turns indefinite waits into loud
+    /// failures instead of hangs.
+    pub(crate) dead_workers: AtomicUsize,
+    pub(crate) watchdog: WatchdogCounters,
     parker: Parker,
     idle: IdleGate,
+    /// Wakes the watchdog thread early (shutdown).
+    monitor: Parker,
 }
 
 thread_local! {
@@ -228,11 +264,23 @@ impl Inner {
     {
         let (promise, future) = channel();
         let inner = Arc::clone(self);
+        self.dormant.fetch_add(1, Ordering::SeqCst);
         match group {
             None => {
-                when_all(deps).on_ready(move |vals| {
-                    let vals: Vec<Arc<T>> = vals.iter().map(Arc::clone).collect();
-                    inner.spawn_once(priority, move |ctx| promise.set(f(ctx, vals)));
+                when_all(deps).on_settled(move |outcome| {
+                    inner.dormant.fetch_sub(1, Ordering::SeqCst);
+                    match outcome {
+                        Ok(vals) => {
+                            let vals: Vec<Arc<T>> = vals.iter().map(Arc::clone).collect();
+                            inner.spawn_once(priority, move |ctx| promise.set(f(ctx, vals)));
+                        }
+                        Err(e) => {
+                            // `when_all` already wrapped the input fault in
+                            // a Dependency cause — pass it along unchanged
+                            // (one wrap per dependency hop).
+                            promise.fail(e.clone());
+                        }
+                    }
                 });
             }
             Some(g) => {
@@ -241,30 +289,50 @@ impl Inner {
                 {
                     let g = Arc::clone(&g);
                     let claimed = Arc::clone(&claimed);
+                    let inner = Arc::clone(&inner);
                     g.clone().on_cancel(move || {
                         if !claimed.swap(true, Ordering::SeqCst) {
+                            inner.dormant.fetch_sub(1, Ordering::SeqCst);
                             g.exit_skipped();
                         }
                     });
                 }
-                when_all(deps).on_ready(move |vals| {
+                when_all(deps).on_settled(move |outcome| {
                     if claimed.swap(true, Ordering::SeqCst) {
                         // The cancel hook won the race and already retired
-                        // this reservation.
+                        // this reservation; settle the output so waiters
+                        // are not stranded.
+                        promise.fail(TaskError::Cancelled);
                         return;
                     }
+                    inner.dormant.fetch_sub(1, Ordering::SeqCst);
                     if g.is_cancelled() {
                         g.exit_skipped();
+                        promise.fail(TaskError::Cancelled);
                         return;
                     }
-                    let vals: Vec<Arc<T>> = vals.iter().map(Arc::clone).collect();
-                    let id = inner.ids.allocate();
-                    // The reservation already entered the group; hand it to
-                    // the staged task without entering again.
-                    inner.spawn_staged(
-                        StagedTask::once(id, priority, move |ctx| promise.set(f(ctx, vals)))
-                            .with_group(Some(g)),
-                    );
+                    match outcome {
+                        Ok(vals) => {
+                            let vals: Vec<Arc<T>> = vals.iter().map(Arc::clone).collect();
+                            let id = inner.ids.allocate();
+                            // The reservation already entered the group;
+                            // hand it to the staged task without entering
+                            // again.
+                            inner.spawn_staged(
+                                StagedTask::once(id, priority, move |ctx| {
+                                    promise.set(f(ctx, vals))
+                                })
+                                .with_group(Some(g)),
+                            );
+                        }
+                        Err(e) => {
+                            // The node inherits its dependency's fault: it
+                            // never runs, the group records the fault, and
+                            // the output carries the cause chain onward.
+                            g.exit_faulted(e.clone());
+                            promise.fail(e.clone());
+                        }
+                    }
                 });
             }
         }
@@ -314,11 +382,45 @@ impl Inner {
 
     /// Block until no task is in flight (staged, pending, active or
     /// suspended).
+    ///
+    /// # Panics
+    /// Panics — instead of hanging forever — if a worker thread has died
+    /// and the remaining workers make no progress on the in-flight tasks.
     pub(crate) fn wait_idle(&self) {
+        if !self.try_wait_idle() {
+            panic!(
+                "Runtime::wait_idle would hang: {} worker thread(s) died and {} task(s) \
+                 are stranded without progress",
+                self.dead_workers.load(Ordering::SeqCst),
+                self.in_flight.load(Ordering::SeqCst),
+            );
+        }
+    }
+
+    /// [`wait_idle`](Self::wait_idle) that reports strandedness instead of
+    /// panicking: returns `false` if a worker died and the in-flight count
+    /// stopped moving (the wait would otherwise never finish).
+    pub(crate) fn try_wait_idle(&self) -> bool {
+        const STRANDED_AFTER: Duration = Duration::from_millis(200);
         let mut g = self.idle.lock.lock();
+        let mut last_sig = (0u64, 0usize);
+        let mut flat_since = Instant::now();
         while self.in_flight.load(Ordering::SeqCst) != 0 {
             self.idle.cv.wait_for(&mut g, Duration::from_millis(1));
+            if self.dead_workers.load(Ordering::SeqCst) > 0 {
+                let sig = (
+                    self.counters.phases.sum(),
+                    self.in_flight.load(Ordering::SeqCst),
+                );
+                if sig != last_sig {
+                    last_sig = sig;
+                    flat_since = Instant::now();
+                } else if flat_since.elapsed() >= STRANDED_AFTER {
+                    return false;
+                }
+            }
         }
+        true
     }
 }
 
@@ -417,7 +519,10 @@ impl TaskContext<'_> {
     pub fn suspend_until<T: Send + Sync + 'static>(&mut self, future: &SharedFuture<T>) {
         let future = future.clone();
         self.suspend_registration = Some(Box::new(move |resumer: Resumer| {
-            future.on_ready(move |_| resumer.resume());
+            // Resume on *settle*, not just on value: a faulted dependency
+            // must wake the task (which then observes the error via
+            // `try_get`) rather than strand it suspended forever.
+            future.on_settled(move |_| resumer.resume());
         }));
     }
 
@@ -470,6 +575,111 @@ impl Drop for Resumer {
 pub struct Runtime {
     inner: Arc<Inner>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    watchdog_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Reports a worker thread that dies from an uncontained panic (a
+/// runtime-internal bug — task panics are caught in the worker loop and
+/// never reach this). Arms loud failure of `wait_idle`/`Drop` instead of
+/// a silent hang, and wakes current waiters so they notice immediately.
+struct WorkerDeathSentinel {
+    inner: Arc<Inner>,
+    worker: usize,
+}
+
+impl Drop for WorkerDeathSentinel {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.inner.dead_workers.fetch_add(1, Ordering::SeqCst);
+            eprintln!(
+                "grain-runtime: worker {} died from an uncontained panic; \
+                 {} task(s) in flight",
+                self.worker,
+                self.inner.in_flight.load(Ordering::SeqCst),
+            );
+            self.inner.wake();
+            let _g = self.inner.idle.lock.lock();
+            self.inner.idle.cv.notify_all();
+        }
+    }
+}
+
+/// The stall-watchdog loop: samples a progress signature every
+/// `cfg.interval`; if work exists (tasks in flight or dormant dataflow
+/// reservations) but the signature stays flat for `cfg.stall_after`,
+/// records a stall and emits one diagnostic dump for the episode.
+fn watchdog_loop(inner: Arc<Inner>, cfg: WatchdogConfig) {
+    let mut last_sig = (u64::MAX, u64::MAX, usize::MAX, usize::MAX);
+    let mut flat_since = Instant::now();
+    let mut dumped = false;
+    loop {
+        {
+            let mut g = inner.monitor.lock.lock();
+            if inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            inner.monitor.cv.wait_for(&mut g, cfg.interval);
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        inner.watchdog.checks.incr();
+        let sig = (
+            inner.counters.phases.sum(),
+            inner.counters.tasks.sum(),
+            inner.in_flight.load(Ordering::SeqCst),
+            inner.dormant.load(Ordering::SeqCst),
+        );
+        let work_exists = sig.2 > 0 || sig.3 > 0;
+        if sig != last_sig {
+            last_sig = sig;
+            flat_since = Instant::now();
+            dumped = false;
+            continue;
+        }
+        if !work_exists {
+            flat_since = Instant::now();
+            dumped = false;
+            continue;
+        }
+        let stall_age = flat_since.elapsed();
+        if stall_age >= cfg.stall_after && !dumped {
+            dumped = true;
+            inner.watchdog.stalls.incr();
+            inner.watchdog.dumps.incr();
+            watchdog_dump(&inner, stall_age);
+        }
+    }
+}
+
+/// One diagnostic dump: global progress state plus per-worker queue
+/// depths, so a stalled run tells you *where* the work is stuck.
+fn watchdog_dump(inner: &Inner, stall_age: Duration) {
+    let q = &inner.scheduler.queues;
+    eprintln!(
+        "grain-runtime watchdog: no progress for {:?} — in-flight {}, dormant dataflow \
+         reservations {}, sleepers {}, dead workers {}, phases {}, tasks {}",
+        stall_age,
+        inner.in_flight.load(Ordering::SeqCst),
+        inner.dormant.load(Ordering::SeqCst),
+        inner.parker.sleepers.load(Ordering::SeqCst),
+        inner.dead_workers.load(Ordering::SeqCst),
+        inner.counters.phases.sum(),
+        inner.counters.tasks.sum(),
+    );
+    for (w, d) in q.workers.iter().enumerate() {
+        let staged = d.staged.len();
+        let pending = d.pending.len();
+        if staged > 0 || pending > 0 {
+            eprintln!("  worker {w}: staged {staged}, pending {pending}");
+        }
+    }
+    if inner.dormant.load(Ordering::SeqCst) > 0 && inner.in_flight.load(Ordering::SeqCst) == 0 {
+        eprintln!(
+            "  likely cause: a dependency cycle or an unfulfilled external promise — \
+             dataflow nodes are waiting on futures nothing will ever settle"
+        );
+    }
 }
 
 impl Runtime {
@@ -477,6 +687,9 @@ impl Runtime {
     /// created immediately (HPX: static OS threads at startup).
     pub fn new(config: RuntimeConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
+        // Panic isolation needs the message-capturing hook (process-wide,
+        // installed once, chains to the previous hook for non-task panics).
+        crate::fault::install_panic_hook();
         let numa = match config.numa_domains {
             Some(d) => NumaTopology::block(config.workers, d),
             None => host::host_topology(config.workers),
@@ -510,6 +723,27 @@ impl Runtime {
                 )
                 .expect("fresh registry");
         }
+        let watchdog = WatchdogCounters {
+            checks: Arc::new(RawCounter::new()),
+            stalls: Arc::new(RawCounter::new()),
+            dumps: Arc::new(RawCounter::new()),
+        };
+        {
+            use grain_counters::registry::RawView;
+            let t = grain_counters::CounterPath::total_instance();
+            for (name, c) in [
+                ("checks", &watchdog.checks),
+                ("stalls", &watchdog.stalls),
+                ("dumps", &watchdog.dumps),
+            ] {
+                registry
+                    .register(
+                        &format!("/runtime{{{t}}}/watchdog/{name}"),
+                        RawView::new(Arc::clone(c), Unit::Count),
+                    )
+                    .expect("fresh registry");
+            }
+        }
         let inner = Arc::new(Inner {
             scheduler,
             counters,
@@ -520,6 +754,9 @@ impl Runtime {
             active_limit: AtomicUsize::new(config.workers),
             tracer: crate::trace::Tracer::new(config.workers, config.trace),
             config: config.clone(),
+            dormant: AtomicUsize::new(0),
+            dead_workers: AtomicUsize::new(0),
+            watchdog,
             parker: Parker {
                 lock: Mutex::new(()),
                 cv: Condvar::new(),
@@ -529,17 +766,39 @@ impl Runtime {
                 lock: Mutex::new(()),
                 cv: Condvar::new(),
             },
+            monitor: Parker {
+                lock: Mutex::new(()),
+                cv: Condvar::new(),
+                sleepers: AtomicUsize::new(0),
+            },
         });
         let threads = (0..config.workers)
             .map(|w| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("grain-worker-{w}"))
-                    .spawn(move || crate::worker::worker_loop(inner, w))
+                    .spawn(move || {
+                        let _sentinel = WorkerDeathSentinel {
+                            inner: Arc::clone(&inner),
+                            worker: w,
+                        };
+                        crate::worker::worker_loop(inner, w);
+                    })
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        Self { inner, threads }
+        let watchdog_thread = config.watchdog.clone().map(|cfg| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("grain-watchdog".to_string())
+                .spawn(move || watchdog_loop(inner, cfg))
+                .expect("failed to spawn watchdog thread")
+        });
+        Self {
+            inner,
+            threads,
+            watchdog_thread,
+        }
     }
 
     /// Runtime with `workers` workers and default settings.
@@ -697,12 +956,26 @@ impl Runtime {
 
 impl Drop for Runtime {
     fn drop(&mut self) {
-        // Let in-flight work finish, then stop the workers.
-        self.inner.wait_idle();
+        // Let in-flight work finish, then stop the workers. Never panic
+        // in drop: if a dead worker stranded tasks, report and force
+        // shutdown instead of waiting forever (or aborting).
+        if !self.inner.try_wait_idle() {
+            eprintln!(
+                "grain-runtime: shutting down with {} stranded task(s) ({} dead worker(s))",
+                self.inner.in_flight.load(Ordering::SeqCst),
+                self.inner.dead_workers.load(Ordering::SeqCst),
+            );
+        }
         self.inner.shutdown.store(true, Ordering::SeqCst);
         // Wake everyone repeatedly until all workers observed the flag.
         for t in self.threads.drain(..) {
             self.inner.wake();
+            let _ = t.join();
+        }
+        if let Some(t) = self.watchdog_thread.take() {
+            let _g = self.inner.monitor.lock.lock();
+            self.inner.monitor.cv.notify_all();
+            drop(_g);
             let _ = t.join();
         }
     }

@@ -81,6 +81,9 @@ pub enum TaskState {
     Suspended,
     /// Finished.
     Terminated,
+    /// Terminal: the task's body panicked and the panic was isolated
+    /// (the worker survived; the task's promise faulted).
+    Faulted,
 }
 
 /// What a task phase decided to do next.
@@ -210,6 +213,7 @@ impl Task {
                     | (TaskState::Active, TaskState::Pending)
                     | (TaskState::Active, TaskState::Suspended)
                     | (TaskState::Active, TaskState::Terminated)
+                    | (TaskState::Active, TaskState::Faulted)
                     | (TaskState::Suspended, TaskState::Pending)
             ),
             "illegal task state transition {:?} → {:?}",

@@ -12,7 +12,18 @@
 //!   the rising idle-rate of Fig. 4/5's right-hand side. Time spent
 //!   while the whole runtime is quiescent (no task in flight) is *not*
 //!   charged — otherwise the counters would drift between benchmark runs.
+//!
+//! Every phase runs under `catch_unwind`: a panicking body terminates
+//! only its task (→ `Faulted`, promise settled with
+//! [`TaskError::Panicked`], group notified), never the worker. The one
+//! deliberate exception is the `Poll::Suspend`-without-registration
+//! programming error below, which stays worker-fatal — the dead-worker
+//! detection in [`crate::Runtime`] exists to surface exactly that class
+//! of bug loudly instead of hanging.
 
+#![deny(clippy::unwrap_used)]
+
+use crate::fault::{self, TaskError};
 use crate::runtime::{Inner, Resumer, TaskContext};
 use crate::task::{Poll, TaskState};
 use crate::trace::TraceEventKind;
@@ -44,11 +55,14 @@ pub(crate) fn worker_loop(inner: Arc<Inner>, w: usize) {
                 if let Some(group) = task.group.as_ref().filter(|g| g.is_cancelled()) {
                     // Cooperative cancellation: the body never runs. The
                     // task still terminates (legally) so in-flight counts
-                    // — runtime-wide and group — stay balanced.
+                    // — runtime-wide and group — stay balanced. The frame
+                    // may hold an unfulfilled promise; dropping it under
+                    // this reason faults the future with `Cancelled`
+                    // instead of `BrokenPromise`.
                     let group = std::sync::Arc::clone(group);
                     task.transition(TaskState::Active);
                     task.transition(TaskState::Terminated);
-                    drop(task);
+                    fault::with_drop_reason(TaskError::Cancelled, move || drop(task));
                     inner.task_done();
                     group.exit_skipped();
                     // Dispatch bookkeeping stays honest: skipping is part
@@ -73,8 +87,36 @@ pub(crate) fn worker_loop(inner: Arc<Inner>, w: usize) {
                     suspend_registration: None,
                     group: task.group.clone(),
                 };
+
+                #[cfg(feature = "fault-inject")]
+                let injected = inner
+                    .config
+                    .fault_plan
+                    .as_ref()
+                    .map(|p| p.decide(task.id.0, task.phases))
+                    .unwrap_or(grain_counters::FaultAction::None);
+                #[cfg(feature = "fault-inject")]
+                match injected {
+                    grain_counters::FaultAction::Delay(d) => std::thread::sleep(d),
+                    grain_counters::FaultAction::SpuriousWake => inner.wake(),
+                    _ => {}
+                }
+
                 let exec_start = Instant::now();
-                let poll = (task.body)(&mut ctx);
+                // Isolate the phase: a panicking body must terminate only
+                // this task. The scope arms the panic hook so the message
+                // is captured (and not printed) and reachable by promise
+                // drop glue running inside the unwind.
+                let result = {
+                    let _scope = fault::PhaseScope::enter();
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        #[cfg(feature = "fault-inject")]
+                        if injected == grain_counters::FaultAction::Panic {
+                            panic!("injected fault: task panic");
+                        }
+                        (task.body)(&mut ctx)
+                    }))
+                };
                 let exec_ns = exec_start.elapsed().as_nanos() as u64;
                 if inner.tracer.enabled() {
                     inner.tracer.record(w, task.id, TraceEventKind::PhaseEnd);
@@ -96,8 +138,9 @@ pub(crate) fn worker_loop(inner: Arc<Inner>, w: usize) {
                     .add(w, now.duration_since(mark).as_nanos() as u64);
                 mark = now;
 
-                match poll {
-                    Poll::Complete => {
+                match result {
+                    Ok(Poll::Complete) => {
+                        fault::take_captured_panic();
                         task.transition(TaskState::Terminated);
                         counters.tasks.incr(w);
                         let group = task.group.take();
@@ -107,12 +150,14 @@ pub(crate) fn worker_loop(inner: Arc<Inner>, w: usize) {
                             g.exit_completed();
                         }
                     }
-                    Poll::Yield => {
+                    Ok(Poll::Yield) => {
+                        fault::take_captured_panic();
                         task.transition(TaskState::Pending);
                         inner.scheduler.queues.push_pending(w, task);
                         inner.wake();
                     }
-                    Poll::Suspend => {
+                    Ok(Poll::Suspend) => {
+                        fault::take_captured_panic();
                         task.transition(TaskState::Suspended);
                         let registration = registration.expect(
                             "task returned Poll::Suspend without calling \
@@ -122,6 +167,25 @@ pub(crate) fn worker_loop(inner: Arc<Inner>, w: usize) {
                             inner: Arc::clone(&inner),
                             task: Some(task),
                         });
+                    }
+                    Err(payload) => {
+                        // The panic is contained: this task faults, the
+                        // worker carries on. `once` bodies already settled
+                        // their promise during the unwind (with the
+                        // captured message); phased bodies still hold
+                        // theirs — the reasoned drop below faults it.
+                        let message = fault::take_captured_panic()
+                            .unwrap_or_else(|| fault::payload_message(payload.as_ref()));
+                        drop(payload);
+                        let error = TaskError::Panicked { message };
+                        task.transition(TaskState::Faulted);
+                        counters.faulted.incr(w);
+                        let group = task.group.take();
+                        fault::with_drop_reason(error.clone(), move || drop(task));
+                        inner.task_done();
+                        if let Some(g) = group {
+                            g.exit_faulted(error);
+                        }
                     }
                 }
             }

@@ -142,7 +142,7 @@ fn suspension_and_resume() {
     let gate2 = gate.clone();
     r.spawn_phased(Priority::Normal, move |ctx| match gate2.try_get() {
         Some(v) => {
-            res.store(*v as usize, Ordering::SeqCst);
+            res.store(*v.expect("gate not faulted") as usize, Ordering::SeqCst);
             Poll::Complete
         }
         None => {

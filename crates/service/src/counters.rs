@@ -15,6 +15,7 @@ use grain_counters::{
     CounterValue, LogHistogram, RawCounter, Registry, RegistryError, ScopedRegistry, Unit,
 };
 use grain_runtime::TaskGroup;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Per-job counters: a scoped `/jobs{name#id}` namespace of derived
@@ -23,6 +24,8 @@ use std::sync::Arc;
 /// reference) drops.
 pub struct JobCounters {
     scope: ScopedRegistry,
+    /// Retry count, shared with the job core; feeds `tasks/retried`.
+    retried: Arc<AtomicU64>,
 }
 
 impl JobCounters {
@@ -56,6 +59,17 @@ impl JobCounters {
         )?;
         let g = Arc::clone(group);
         scope.register(
+            "threads/count/faulted",
+            DerivedCounter::new(Unit::Count, move || g.faulted() as f64),
+        )?;
+        let retried = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&retried);
+        scope.register(
+            "tasks/retried",
+            DerivedCounter::new(Unit::Count, move || r.load(Ordering::SeqCst) as f64),
+        )?;
+        let g = Arc::clone(group);
+        scope.register(
             "threads/time/cumulative-exec",
             DerivedCounter::new(Unit::Nanoseconds, move || g.exec_ns() as f64),
         )?;
@@ -71,7 +85,13 @@ impl JobCounters {
                 }
             }),
         )?;
-        Ok(Self { scope })
+        Ok(Self { scope, retried })
+    }
+
+    /// The shared retry counter backing `tasks/retried`; the job core
+    /// increments it on each re-admission.
+    pub(crate) fn retried_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.retried)
     }
 
     /// Full registry paths of this job's counters.
@@ -108,6 +128,10 @@ pub struct ServiceCounters {
     pub cancelled: Arc<RawCounter>,
     /// Jobs that finished as `TimedOut`.
     pub timed_out: Arc<RawCounter>,
+    /// Jobs that finished as `Failed` (task fault, not retried further).
+    pub failed: Arc<RawCounter>,
+    /// Faulted attempts re-admitted under `RetryWithBackoff`.
+    pub retried: Arc<RawCounter>,
     /// Jobs refused by admission control.
     pub rejected: Arc<RawCounter>,
     /// Submission-to-admission latency, log₂ ns buckets.
@@ -130,16 +154,20 @@ impl ServiceCounters {
             completed: Arc::new(RawCounter::new()),
             cancelled: Arc::new(RawCounter::new()),
             timed_out: Arc::new(RawCounter::new()),
+            failed: Arc::new(RawCounter::new()),
+            retried: Arc::new(RawCounter::new()),
             rejected: Arc::new(RawCounter::new()),
             admission_latency: Arc::new(LogHistogram::new()),
             turnaround: Arc::new(LogHistogram::new()),
         };
-        let raws: [(&str, &Arc<RawCounter>); 6] = [
+        let raws: [(&str, &Arc<RawCounter>); 8] = [
             ("jobs/submitted", &this.submitted),
             ("jobs/admitted", &this.admitted),
             ("jobs/completed", &this.completed),
             ("jobs/cancelled", &this.cancelled),
             ("jobs/timed-out", &this.timed_out),
+            ("jobs/failed", &this.failed),
+            ("jobs/retried", &this.retried),
             ("jobs/rejected", &this.rejected),
         ];
         for (name, raw) in raws {
@@ -193,7 +221,13 @@ mod tests {
             1
         );
         assert_eq!(jc.prefix(), "/jobs{render#1}");
-        assert_eq!(jc.paths().len(), 6);
+        assert_eq!(jc.paths().len(), 8);
+        group.exit_faulted(grain_runtime::TaskError::Panicked {
+            message: "boom".into(),
+        });
+        assert_eq!(jc.query("threads/count/faulted").unwrap().as_count(), 1);
+        jc.retried_handle().fetch_add(2, Ordering::SeqCst);
+        assert_eq!(jc.query("tasks/retried").unwrap().as_count(), 2);
     }
 
     #[test]

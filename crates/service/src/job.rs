@@ -6,8 +6,11 @@
 //!
 //! ```text
 //! Queued ──▶ Admitted ──▶ Running ──▶ Completed
-//!    │                       ├──────▶ Cancelled   (JobHandle::cancel)
-//!    │                       └──────▶ TimedOut    (deadline expiry)
+//!    ▲                       ├──────▶ Cancelled   (JobHandle::cancel)
+//!    │                       ├──────▶ TimedOut    (deadline expiry)
+//!    │                       ├──────▶ Failed      (task fault, FailurePolicy)
+//!    │                       └──╮
+//!    ╰──────── retry ───────────╯                 (RetryWithBackoff)
 //!    └──────────────────────────────▶ Rejected    (admission control)
 //! ```
 //!
@@ -20,9 +23,9 @@ use crate::admission::AdmissionError;
 use crate::counters::JobCounters;
 use grain_counters::sync::{Condvar, Mutex};
 use grain_counters::{CounterValue, RegistryError};
-use grain_runtime::{Priority, TaskContext, TaskGroup};
+use grain_runtime::{Priority, TaskContext, TaskError, TaskGroup};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,10 +65,11 @@ impl JobPriority {
 }
 
 /// Job lifecycle states. Terminal states are `Completed`, `Cancelled`,
-/// `TimedOut` and `Rejected`.
+/// `TimedOut`, `Failed` and `Rejected`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobState {
-    /// Accepted into a tenant queue, waiting for admission.
+    /// Accepted into a tenant queue, waiting for admission (or, after a
+    /// faulted attempt under `RetryWithBackoff`, for re-admission).
     Queued,
     /// Past admission control; budget reserved, about to start.
     Admitted,
@@ -77,16 +81,24 @@ pub enum JobState {
     Cancelled,
     /// The deadline expired before the job finished.
     TimedOut,
+    /// A task of the job faulted (panicked or inherited a dependency
+    /// fault) and the job's [`FailurePolicy`] did not (or could no
+    /// longer) retry. The first fault is in [`JobOutcome::fault`].
+    Failed,
     /// Refused by admission control (queue bound or shutdown).
     Rejected,
 }
 
 impl JobState {
-    /// True for the four states a job can never leave.
+    /// True for the five states a job can never leave.
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            JobState::Completed | JobState::Cancelled | JobState::TimedOut | JobState::Rejected
+            JobState::Completed
+                | JobState::Cancelled
+                | JobState::TimedOut
+                | JobState::Failed
+                | JobState::Rejected
         )
     }
 }
@@ -100,10 +112,42 @@ impl fmt::Display for JobState {
             JobState::Completed => "completed",
             JobState::Cancelled => "cancelled",
             JobState::TimedOut => "timed-out",
+            JobState::Failed => "failed",
             JobState::Rejected => "rejected",
         };
         f.write_str(s)
     }
+}
+
+/// What the service does when a task of a job faults — i.e. a task body
+/// panics (contained by the runtime's panic isolation) or inherits a
+/// dependency fault through a `dataflow`/`when_all` chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Cancel the rest of the job as soon as any task faults: queued
+    /// tasks are skipped, dormant dataflow nodes released, and the job
+    /// finishes as [`JobState::Failed`] once in-flight tasks drain.
+    /// The default.
+    #[default]
+    FailFast,
+    /// Let every remaining task run; the job still finishes as
+    /// [`JobState::Failed`] with the first fault recorded. Use when
+    /// partial results matter.
+    ContinueRemaining,
+    /// Re-run the job body from scratch, up to `max_attempts` total
+    /// attempts. Before re-admission the job waits out an exponential
+    /// backoff of `base · 2^(n−1)` after its n-th faulted attempt,
+    /// capped at `cap`; retries re-pass admission control (budget is
+    /// released in between). Exhausting the attempts finishes the job
+    /// as [`JobState::Failed`].
+    RetryWithBackoff {
+        /// Total attempts, including the first (clamped to ≥ 1).
+        max_attempts: u32,
+        /// Backoff after the first faulted attempt.
+        base: Duration,
+        /// Upper bound on the backoff, whatever the attempt number.
+        cap: Duration,
+    },
 }
 
 /// Everything a client declares about a job up front. Build with
@@ -124,6 +168,8 @@ pub struct JobSpec {
     /// used by admission control as the job's budget cost (clamped to a
     /// minimum of 1). A bad estimate degrades fairness, not correctness.
     pub estimated_tasks: u64,
+    /// What to do when a task of the job faults.
+    pub failure_policy: FailurePolicy,
 }
 
 impl JobSpec {
@@ -135,6 +181,7 @@ impl JobSpec {
             priority: JobPriority::default(),
             deadline: None,
             estimated_tasks: 1,
+            failure_policy: FailurePolicy::default(),
         }
     }
 
@@ -158,11 +205,31 @@ impl JobSpec {
         self.estimated_tasks = n;
         self
     }
+
+    /// Set the failure policy.
+    #[must_use]
+    pub fn failure_policy(mut self, p: FailurePolicy) -> Self {
+        self.failure_policy = p;
+        self
+    }
+
+    /// Shorthand for [`FailurePolicy::RetryWithBackoff`] with a one-second
+    /// backoff cap.
+    #[must_use]
+    pub fn retry(self, max_attempts: u32, base: Duration) -> Self {
+        self.failure_policy(FailurePolicy::RetryWithBackoff {
+            max_attempts,
+            base,
+            cap: Duration::from_secs(1),
+        })
+    }
 }
 
 /// The root closure of a job: runs as the job's first task; everything
-/// it spawns through the context joins the job's group.
-pub type JobBody = Box<dyn FnOnce(&mut TaskContext<'_>) + Send>;
+/// it spawns through the context joins the job's group. `FnMut` rather
+/// than `FnOnce` so a `RetryWithBackoff` job can re-run it from scratch
+/// on each attempt.
+pub type JobBody = Box<dyn FnMut(&mut TaskContext<'_>) + Send>;
 
 /// Shared state of one job. Internal; clients hold a [`JobHandle`].
 pub(crate) struct JobCore {
@@ -180,8 +247,16 @@ pub(crate) struct JobCore {
     pub(crate) submitted_at: Instant,
     pub(crate) admitted_at: Mutex<Option<Instant>>,
     pub(crate) finished_at: Mutex<Option<Instant>>,
-    /// The root closure, taken by the dispatcher at start.
-    pub(crate) body: Mutex<Option<JobBody>>,
+    /// Attempts started (1 after the first admission).
+    pub(crate) attempts: AtomicU64,
+    /// Retries performed; shared with the `/jobs{...}/tasks/retried`
+    /// counter surface.
+    pub(crate) retried: Arc<AtomicU64>,
+    /// Backoff gate: the dispatcher will not re-admit the job before
+    /// this instant.
+    pub(crate) not_before: Mutex<Option<Instant>>,
+    /// The root closure; the dispatcher runs it once per attempt.
+    pub(crate) body: Mutex<JobBody>,
 }
 
 impl JobCore {
@@ -195,6 +270,7 @@ impl JobCore {
         body: JobBody,
     ) -> Self {
         let cost = spec.estimated_tasks.max(1);
+        let retried = counters.retried_handle();
         Self {
             id,
             spec,
@@ -209,7 +285,10 @@ impl JobCore {
             submitted_at: Instant::now(),
             admitted_at: Mutex::new(None),
             finished_at: Mutex::new(None),
-            body: Mutex::new(Some(body)),
+            attempts: AtomicU64::new(0),
+            retried,
+            not_before: Mutex::new(None),
+            body: Mutex::new(body),
         }
     }
 
@@ -330,13 +409,18 @@ impl JobCore {
             tasks_completed: self.group.completed(),
             tasks_skipped: self.group.skipped(),
             tasks_spawned: self.group.spawned(),
+            tasks_faulted: self.group.faulted(),
             exec_ns: self.group.exec_ns(),
             turnaround: self.turnaround(),
+            fault: self.group.first_fault(),
+            retries: self.retried.load(Ordering::SeqCst),
         }
     }
 }
 
-/// Final report of a finished job.
+/// Final report of a finished job. Task counts are cumulative across
+/// retry attempts (a job that faulted once and then succeeded reports
+/// the tasks of both attempts).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobOutcome {
     /// The terminal state.
@@ -348,10 +432,18 @@ pub struct JobOutcome {
     pub tasks_skipped: u64,
     /// Total tasks ever entered into the job's group.
     pub tasks_spawned: u64,
+    /// Tasks that faulted in the job's *last* attempt (the count is
+    /// reset when a retry starts; a successful retry reports 0).
+    pub tasks_faulted: u64,
     /// Cumulative execution time over the job's task phases.
     pub exec_ns: u64,
     /// Submission-to-finish wall-clock time.
     pub turnaround: Duration,
+    /// The first fault of the last attempt, if any — a `Failed` job's
+    /// reason; trace a mid-DAG panic with [`TaskError::root_cause`].
+    pub fault: Option<TaskError>,
+    /// Retries performed (attempts − 1 for admitted jobs).
+    pub retries: u64,
 }
 
 /// Client-side handle to a submitted job. Cheap to clone; the job's
@@ -391,6 +483,16 @@ impl JobHandle {
     /// Why admission refused the job, if it was rejected.
     pub fn rejection(&self) -> Option<AdmissionError> {
         self.core.rejection.lock().clone()
+    }
+
+    /// The first fault of the job's current/last attempt, if any.
+    pub fn fault(&self) -> Option<TaskError> {
+        self.core.group.first_fault()
+    }
+
+    /// Retries performed so far.
+    pub fn retries(&self) -> u64 {
+        self.core.retried.load(Ordering::SeqCst)
     }
 
     /// Request cooperative cancellation. Queued jobs finish as
@@ -479,6 +581,7 @@ mod tests {
             JobState::Completed,
             JobState::Cancelled,
             JobState::TimedOut,
+            JobState::Failed,
             JobState::Rejected,
         ] {
             assert!(s.is_terminal(), "{s}");

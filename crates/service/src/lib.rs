@@ -11,8 +11,11 @@
 //!
 //! ```text
 //! Queued ──▶ Admitted ──▶ Running ──▶ Completed
-//!    │                       ├──────▶ Cancelled   (JobHandle::cancel)
-//!    │                       └──────▶ TimedOut    (deadline expiry)
+//!    ▲                       ├──────▶ Cancelled   (JobHandle::cancel)
+//!    │                       ├──────▶ TimedOut    (deadline expiry)
+//!    │                       ├──────▶ Failed      (task fault, FailurePolicy)
+//!    │                       └──╮
+//!    ╰──────── retry ───────────╯                 (RetryWithBackoff)
 //!    └──────────────────────────────▶ Rejected    (admission control)
 //! ```
 //!
@@ -28,6 +31,10 @@
 //! * **Per-job counters** live under `/jobs{name#id}/threads/...` beside
 //!   service-wide `/service/...` counters on the service's
 //!   [`Registry`](grain_counters::Registry).
+//! * **Failure policies** ([`FailurePolicy`]) decide what a task fault
+//!   (an isolated panic, or an inherited dependency fault) does to its
+//!   job: fail fast (default), let the remaining tasks finish, or retry
+//!   the whole job with exponential backoff through admission control.
 //!
 //! ## Example
 //!
@@ -53,7 +60,7 @@ pub mod service;
 
 pub use admission::{AdmissionConfig, AdmissionError};
 pub use counters::{JobCounters, ServiceCounters};
-pub use job::{JobHandle, JobId, JobOutcome, JobPriority, JobSpec, JobState};
+pub use job::{FailurePolicy, JobHandle, JobId, JobOutcome, JobPriority, JobSpec, JobState};
 pub use service::{JobService, ServiceConfig};
 
 // Re-export the layers underneath so service users need one dependency.

@@ -8,10 +8,18 @@
 //! terminal states from the group's quiescence latch. Nothing in the
 //! serving layer touches the runtime's hot dispatch path — jobs meter
 //! themselves through their groups.
+//!
+//! Failure handling rides on the runtime's panic isolation: a faulted
+//! task never kills a worker, it marks the job's group, and the job's
+//! [`FailurePolicy`](crate::job::FailurePolicy) decides at settlement
+//! whether the job fails fast, runs out its remaining tasks, or goes
+//! back through admission for another attempt after a backoff.
+
+#![deny(clippy::unwrap_used)]
 
 use crate::admission::{AdmissionError, FairQueues};
 use crate::counters::{JobCounters, ServiceCounters};
-use crate::job::{JobCore, JobHandle, JobId, JobSpec, JobState};
+use crate::job::{FailurePolicy, JobCore, JobHandle, JobId, JobSpec, JobState};
 use grain_counters::sync::{Condvar, Mutex};
 use grain_counters::Registry;
 use grain_runtime::{Runtime, RuntimeConfig, TaskContext};
@@ -142,7 +150,7 @@ impl JobService {
     pub fn submit(
         &self,
         spec: JobSpec,
-        body: impl FnOnce(&mut TaskContext<'_>) + Send + 'static,
+        body: impl FnMut(&mut TaskContext<'_>) + Send + 'static,
     ) -> JobHandle {
         let shared = &self.shared;
         let id = JobId(shared.ids.fetch_add(1, Ordering::Relaxed));
@@ -253,13 +261,25 @@ impl Drop for JobService {
     }
 }
 
-/// One settlement of a finished job: decide the terminal state, meter
+/// One settlement of a quiescent job: decide the terminal state — or
+/// send a faulted `RetryWithBackoff` job back through admission — meter
 /// it, release the budget, and wake the dispatcher.
+///
+/// State priority: a deadline expiry beats an explicit cancel beats a
+/// fault. `cancel_requested` (the client's flag) is what marks
+/// `Cancelled`, *not* `group.is_cancelled()` — fail-fast cancels the
+/// group internally on fault, and that must settle as `Failed`.
 fn settle(shared: &Shared, core: &Arc<JobCore>) {
+    let fault = core.group.first_fault();
     let state = if core.timed_out.load(Ordering::SeqCst) {
         JobState::TimedOut
-    } else if core.cancel_requested.load(Ordering::SeqCst) || core.group.is_cancelled() {
+    } else if core.cancel_requested.load(Ordering::SeqCst) {
         JobState::Cancelled
+    } else if fault.is_some() {
+        if try_requeue_for_retry(shared, core) {
+            return; // not terminal: the job is queued for another attempt
+        }
+        JobState::Failed
     } else {
         JobState::Completed
     };
@@ -270,6 +290,7 @@ fn settle(shared: &Shared, core: &Arc<JobCore>) {
         JobState::Completed => shared.counters.completed.incr(),
         JobState::Cancelled => shared.counters.cancelled.incr(),
         JobState::TimedOut => shared.counters.timed_out.incr(),
+        JobState::Failed => shared.counters.failed.incr(),
         _ => unreachable!("settle only produces terminal run states"),
     }
     shared
@@ -283,6 +304,49 @@ fn settle(shared: &Shared, core: &Arc<JobCore>) {
     core.notify_waiters();
 }
 
+/// If the faulted job's policy allows another attempt, reset its fault
+/// record, arm the backoff gate, and move it `Running → Queued` — budget
+/// released so other jobs can use it while the backoff elapses. Returns
+/// false when the job must fail instead (policy, attempts exhausted, or
+/// service shutdown).
+fn try_requeue_for_retry(shared: &Shared, core: &Arc<JobCore>) -> bool {
+    let FailurePolicy::RetryWithBackoff {
+        max_attempts,
+        base,
+        cap,
+    } = core.spec.failure_policy
+    else {
+        return false;
+    };
+    let attempt = core.attempts.load(Ordering::SeqCst);
+    if attempt >= u64::from(max_attempts.max(1)) || shared.shutdown.load(Ordering::SeqCst) {
+        return false;
+    }
+    shared.counters.retried.incr();
+    core.retried.fetch_add(1, Ordering::SeqCst);
+    *core.not_before.lock() = Some(Instant::now() + backoff_delay(base, cap, attempt));
+    core.group.reset_faults();
+    core.set_state(JobState::Queued);
+    shared.budget_in_use.fetch_sub(core.cost, Ordering::SeqCst);
+    // `admitting` bridges the running→queues handoff so `wait_all`
+    // (which checks queues, admitting, running under the queues lock)
+    // can never observe the job in neither structure.
+    shared.admitting.fetch_add(1, Ordering::SeqCst);
+    shared.running.lock().retain(|c| !Arc::ptr_eq(c, core));
+    let weight = shared.config.admission.weight_of(&core.spec.tenant);
+    shared.queues.lock().push(Arc::clone(core), weight);
+    shared.admitting.fetch_sub(1, Ordering::SeqCst);
+    shared.dispatch_cv.notify_all();
+    true
+}
+
+/// Exponential backoff before attempt `attempt + 1`: `base · 2^(n−1)`
+/// after the n-th faulted attempt, capped at `cap`.
+fn backoff_delay(base: Duration, cap: Duration, attempt: u64) -> Duration {
+    let doublings = u32::try_from(attempt.saturating_sub(1).min(16)).expect("bounded by min(16)");
+    base.saturating_mul(1u32 << doublings).min(cap)
+}
+
 fn dispatcher_loop(shared: Arc<Shared>) {
     loop {
         let shutting_down = shared.shutdown.load(Ordering::SeqCst);
@@ -291,6 +355,14 @@ fn dispatcher_loop(shared: Arc<Shared>) {
             // admitted jobs have settled.
             let drained = shared.queues.lock().drain();
             for core in drained {
+                // A job queued for a retry attempt already ran and
+                // faulted; shutdown ends it as Failed, not Rejected.
+                if core.group.first_fault().is_some() {
+                    if core.finish(JobState::Failed) {
+                        shared.counters.failed.incr();
+                    }
+                    continue;
+                }
                 *core.rejection.lock() = Some(AdmissionError::ShuttingDown);
                 if core.finish(JobState::Rejected) {
                     shared.counters.rejected.incr();
@@ -354,9 +426,15 @@ fn dispatcher_loop(shared: Arc<Shared>) {
         if !shutting_down {
             loop {
                 let max = shared.config.admission.max_in_flight_tasks;
+                let now = Instant::now();
                 let candidate = {
                     let mut queues = shared.queues.lock();
                     let core = queues.pop_next(|core| {
+                        // A retrying job stays queued until its backoff
+                        // gate opens; its tenant's FIFO order holds.
+                        if core.not_before.lock().is_some_and(|t| t > now) {
+                            return false;
+                        }
                         let in_use = shared.budget_in_use.load(Ordering::SeqCst);
                         in_use == 0 || in_use + core.cost <= max
                     });
@@ -399,23 +477,35 @@ fn admit(shared: &Arc<Shared>, core: Arc<JobCore>) {
     let now = Instant::now();
     shared.budget_in_use.fetch_add(core.cost, Ordering::SeqCst);
     *core.admitted_at.lock() = Some(now);
-    shared
-        .counters
-        .admission_latency
-        .record(now.duration_since(core.submitted_at).as_nanos() as u64);
-    shared.counters.admitted.incr();
-
-    let body = core
-        .body
-        .lock()
-        .take()
-        .expect("a job is admitted exactly once");
+    *core.not_before.lock() = None;
+    let attempt = core.attempts.fetch_add(1, Ordering::SeqCst) + 1;
+    if attempt == 1 {
+        shared
+            .counters
+            .admission_latency
+            .record(now.duration_since(core.submitted_at).as_nanos() as u64);
+        shared.counters.admitted.incr();
+        if core.spec.failure_policy == FailurePolicy::FailFast {
+            // First fault cancels the rest of the job; settle() then
+            // reads the fault record and finishes it as Failed. Weak:
+            // an unfired hook must not keep the group alive forever.
+            let group = Arc::downgrade(&core.group);
+            core.group.on_fault(move |_| {
+                if let Some(g) = group.upgrade() {
+                    g.cancel();
+                }
+            });
+        }
+    }
     core.set_state(JobState::Running);
     shared.running.lock().push(Arc::clone(&core));
+    let body_core = Arc::clone(&core);
     shared.runtime.spawn_in(
         &core.group,
         core.spec.priority.task_priority(),
-        move |ctx| body(ctx),
+        // The body stays in the core so a retry can run it again; only
+        // one attempt is in flight at a time, so the lock is free.
+        move |ctx| (*body_core.body.lock())(ctx),
     );
     // Arm settlement after the root is in the group (in-flight ≥ 1 until
     // the root exits, so the hook cannot fire before the DAG exists; if

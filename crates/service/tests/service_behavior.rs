@@ -139,7 +139,9 @@ fn deadline_on_a_dormant_dataflow_reservation_settles_from_the_dispatcher() {
     let job = service.submit(
         JobSpec::new("dormant", "tenant-a").deadline(Duration::from_millis(30)),
         move |ctx| {
-            let _ = ctx.dataflow(&[never], |_, _| unreachable!("input never arrives"));
+            let _ = ctx.dataflow(std::slice::from_ref(&never), |_, _| {
+                unreachable!("input never arrives")
+            });
         },
     );
     let outcome = job
@@ -331,7 +333,7 @@ fn fair_share_biases_admission_toward_the_heavier_tenant() {
             let o = Arc::clone(&order);
             let t = tenant.to_string();
             handles.push(service.submit(JobSpec::new("work", tenant), move |_| {
-                o.lock().push(t);
+                o.lock().push(t.clone());
             }));
         }
     }

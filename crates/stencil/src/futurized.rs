@@ -10,8 +10,16 @@
 
 use crate::heat::{heat_part, initial_partition, Partition};
 use crate::params::StencilParams;
-use grain_runtime::{Runtime, SharedFuture};
+use grain_runtime::{Runtime, SharedFuture, TaskError};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// How long [`collect_result`] waits on any single partition before
+/// declaring the run stuck. Generous — a healthy stencil step is
+/// microseconds — so it only fires on a genuine hang (lost worker,
+/// dependency cycle), turning a silent deadlock into a diagnosable
+/// error.
+const JOIN_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Advance a ring of partition futures by one time step: one `dataflow`
 /// task per partition, depending on the three closest partitions (the
@@ -74,13 +82,23 @@ pub fn spawn_stencil(rt: &Runtime, params: &StencilParams) -> Vec<SharedFuture<P
 }
 
 /// Block until the stencil finishes and flatten the result into one grid
-/// vector of length `np · nx`.
+/// vector of length `np · nx`. Panics (with the task error) if a
+/// partition faulted or failed to resolve within [`JOIN_TIMEOUT`].
 pub fn collect_result(parts: &[SharedFuture<Partition>]) -> Vec<f64> {
+    try_collect_result(parts).unwrap_or_else(|e| panic!("stencil partition failed: {e}"))
+}
+
+/// Fallible join: waits up to [`JOIN_TIMEOUT`] per partition and
+/// surfaces a faulted or stuck partition as `Err` — the root cause of a
+/// mid-DAG panic is reachable through [`TaskError::root_cause`] —
+/// instead of blocking forever.
+pub fn try_collect_result(parts: &[SharedFuture<Partition>]) -> Result<Vec<f64>, TaskError> {
     let mut grid = Vec::new();
     for f in parts {
-        grid.extend_from_slice(&f.get());
+        let part = f.wait_timeout(JOIN_TIMEOUT)?;
+        grid.extend_from_slice(&part);
     }
-    grid
+    Ok(grid)
 }
 
 /// Convenience wrapper: run to completion and return the flattened grid.

@@ -17,8 +17,13 @@
 
 use crate::heat::{heat_part, initial_partition, Partition};
 use crate::params::StencilParams;
-use grain_runtime::{channel, Poll, Priority, Runtime, SharedFuture};
+use grain_runtime::{channel, Poll, Priority, Runtime, SharedFuture, TaskError};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-partition join timeout for the final blocking collect; see
+/// `futurized::JOIN_TIMEOUT` for the rationale.
+const JOIN_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Run the stencil with up-front task creation and suspension on unready
 /// dependencies. Returns the flattened final grid.
@@ -51,20 +56,24 @@ pub fn run_suspending(rt: &Runtime, params: &StencilParams) -> Vec<f64> {
             let right = futures[t][(i + 1) % np].clone();
             let mut promise = Some(promise);
             rt.spawn_phased(Priority::Normal, move |ctx| {
-                // Suspend on the first unready input; re-check on resume.
+                // Suspend on the first unsettled input; re-check on resume.
                 for dep in [&left, &mid, &right] {
                     if !dep.is_ready() {
                         ctx.suspend_until(dep);
                         return Poll::Suspend;
                     }
                 }
-                let l: Arc<Partition> = left.try_get().unwrap();
-                let m = mid.try_get().unwrap();
-                let r = right.try_get().unwrap();
-                promise
-                    .take()
-                    .expect("task completed twice")
-                    .set(heat_part(coeff, &l, &m, &r));
+                // All three inputs are settled; a faulted input faults
+                // this partition too, carrying the cause chain forward.
+                let joined: Result<Vec<Arc<Partition>>, TaskError> = [&left, &mid, &right]
+                    .into_iter()
+                    .map(|d| d.try_get().expect("checked settled above"))
+                    .collect();
+                let promise = promise.take().expect("task completed twice");
+                match joined {
+                    Ok(v) => promise.set(heat_part(coeff, &v[0], &v[1], &v[2])),
+                    Err(e) => promise.fail(TaskError::Dependency { cause: Arc::new(e) }),
+                }
                 Poll::Complete
             });
         }
@@ -72,7 +81,10 @@ pub fn run_suspending(rt: &Runtime, params: &StencilParams) -> Vec<f64> {
 
     let mut grid = Vec::with_capacity(np * params.nx);
     for f in &futures[nt] {
-        grid.extend_from_slice(&f.get());
+        let part = f
+            .wait_timeout(JOIN_TIMEOUT)
+            .unwrap_or_else(|e| panic!("suspending stencil partition failed: {e}"));
+        grid.extend_from_slice(&part);
     }
     rt.wait_idle();
     grid

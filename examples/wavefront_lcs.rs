@@ -113,17 +113,17 @@ fn lcs_blocked(rt: &Runtime, a: Arc<Vec<u8>>, b: Arc<Vec<u8>>, tile: usize) -> u
 
             let fut = rt.dataflow(&deps, move |_, _vals| {
                 let top: Vec<u32> = match &up {
-                    Some(f) => f.try_get().unwrap().bottom[..].to_vec(),
+                    Some(f) => f.try_get().expect("dep ready").expect("dep ok").bottom[..].to_vec(),
                     None => vec![0; c1 - c0],
                 };
                 let left: Vec<u32> = match &lf {
-                    Some(f) => f.try_get().unwrap().right[..].to_vec(),
+                    Some(f) => f.try_get().expect("dep ready").expect("dep ok").right[..].to_vec(),
                     None => vec![0; r1 - r0],
                 };
                 // dp[r0][c0]: the diagonal tile's bottom-right value; on
                 // the top row or left column it is the DP's zero halo.
                 let corner = match &dg {
-                    Some(f) => f.try_get().unwrap().corner,
+                    Some(f) => f.try_get().expect("dep ready").expect("dep ok").corner,
                     None => 0,
                 };
                 compute_tile(&a[r0..r1], &b[c0..c1], &top, &left, corner)

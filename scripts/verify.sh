@@ -18,4 +18,22 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> cargo test (fault-inject)"
+# The deterministic fault-injection hooks are compiled out by default;
+# exercise the injected-panic/delay/spurious-wake paths and the seeded
+# replay tests with the feature on.
+cargo test -p grain-runtime --features fault-inject --offline -q
+
+echo "==> unwrap-free hot paths"
+# The worker dispatch loop and the service dispatcher must not use
+# unwrap(): a poisoned-lock or bad-option unwrap there takes down a
+# worker or wedges every tenant. Enforced by clippy at deny level;
+# assert the attributes stay in place.
+for f in crates/runtime/src/worker.rs crates/service/src/service.rs; do
+    grep -q 'deny(clippy::unwrap_used)' "$f" || {
+        echo "missing #![deny(clippy::unwrap_used)] in $f" >&2
+        exit 1
+    }
+done
+
 echo "==> OK"
