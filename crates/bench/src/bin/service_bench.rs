@@ -68,6 +68,7 @@ fn main() {
             tenant_weights: vec![("interactive".into(), 4), ("batch".into(), 2)],
         },
         poll_interval: Duration::from_micros(200),
+        ..ServiceConfig::default()
     };
     let max_budget = config.admission.max_in_flight_tasks;
     let queue_limit = config.admission.max_queued_jobs;
@@ -306,5 +307,179 @@ fn main() {
 
     assert!(counters.cancelled.get() >= 1, "at least one cancelled job");
     assert!(counters.rejected.get() >= 1, "at least one rejected job");
-    println!("\nok: >=3 tenants served, >=1 job cancelled, >=1 rejected by admission control");
+
+    // ---- Overload resilience: one misbehaving tenant, before/after. --
+    // The same 2× oversubmission storm with a panicking `chaos` tenant,
+    // run once with the pressure loop + breakers disabled and once with
+    // the defaults, comparing the well-behaved tenants' outcomes.
+    println!();
+    let baseline = overload_phase(false, workers, scale);
+    let resilient = overload_phase(true, workers, scale);
+    let headers = [
+        "resilience",
+        "done",
+        "timed-out",
+        "shed",
+        "breaker-rej",
+        "p50 turn",
+        "p99 turn",
+    ];
+    let rows = vec![baseline.row("off"), resilient.row("on")];
+    print!(
+        "{}",
+        table::render(
+            "service_bench: overload storm, well-behaved tenants (alpha+beta) vs chaos",
+            &headers,
+            &rows
+        )
+    );
+    if cli.csv {
+        println!();
+        print!("{}", table::csv(&headers, &rows));
+    }
+    println!(
+        "\nchaos tenant: breaker opened {}x with resilience on (0 expected off: {})",
+        resilient.breaker_opens, baseline.breaker_opens
+    );
+    assert!(
+        resilient.breaker_opens >= 1,
+        "the chaos tenant's breaker must trip under the storm"
+    );
+    println!("\nok: >=3 tenants served, >=1 job cancelled, >=1 rejected, overload compared");
+}
+
+struct OverloadResult {
+    completed: usize,
+    timed_out: usize,
+    shed: usize,
+    breaker_rejected: u64,
+    p50: Duration,
+    p99: Duration,
+    breaker_opens: u64,
+}
+
+impl OverloadResult {
+    fn row(&self, label: &str) -> Vec<String> {
+        vec![
+            label.to_string(),
+            self.completed.to_string(),
+            self.timed_out.to_string(),
+            self.shed.to_string(),
+            self.breaker_rejected.to_string(),
+            table::fmt::s(self.p50.as_secs_f64()),
+            table::fmt::s(self.p99.as_secs_f64()),
+        ]
+    }
+}
+
+/// One seeded overload storm: two well-behaved tenants submit deadline
+/// jobs at 2× the service's drain rate while a `chaos` tenant floods it
+/// with panicking retry jobs. Returns the well-behaved tenants' fate.
+fn overload_phase(resilience: bool, workers: usize, scale: usize) -> OverloadResult {
+    let mut config = ServiceConfig {
+        runtime: grain_service::grain_runtime::RuntimeConfig::with_workers(workers),
+        admission: AdmissionConfig {
+            max_in_flight_tasks: 16,
+            max_queued_jobs: 64,
+            default_tenant_weight: 1,
+            tenant_weights: Vec::new(),
+        },
+        poll_interval: Duration::from_micros(200),
+        ..ServiceConfig::default()
+    };
+    config.pressure.enabled = resilience;
+    config.breaker.enabled = resilience;
+    // Trip fast: the storm is short.
+    config.breaker.min_samples = 4;
+    config.breaker.window = 8;
+    config.breaker.open_for = Duration::from_millis(50);
+    let service = JobService::new(config);
+
+    let jobs_per_tenant = 24 * scale;
+    let deadline = Duration::from_millis(60);
+    let mut well_behaved: Vec<JobHandle> = Vec::new();
+    let mut chaos_handles: Vec<JobHandle> = Vec::new();
+    std::thread::scope(|scope| {
+        let generators: Vec<_> = ["alpha", "beta"]
+            .into_iter()
+            .map(|tenant| {
+                let service = &service;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for j in 0..jobs_per_tenant {
+                        let spec = JobSpec::new(format!("{tenant}-{j}"), tenant)
+                            .deadline(deadline)
+                            .estimated_tasks(5);
+                        mine.push(service.submit(spec, |ctx| {
+                            for _ in 0..4 {
+                                ctx.spawn(|_| spin_for(300));
+                            }
+                        }));
+                        // 2× oversubscription: 4 tasks × 300 µs per job
+                        // over `workers` cores drains in ~1.2/workers ms;
+                        // submit at twice that rate.
+                        std::thread::sleep(Duration::from_micros(600 / workers as u64));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let chaos = scope.spawn(|| {
+            let mut mine = Vec::new();
+            for j in 0..2 * jobs_per_tenant {
+                let spec = JobSpec::new(format!("chaos-{j}"), "chaos")
+                    .estimated_tasks(2)
+                    .failure_policy(grain_service::FailurePolicy::RetryWithBackoff {
+                        max_attempts: 3,
+                        base: Duration::from_micros(500),
+                        cap: Duration::from_millis(5),
+                    });
+                // Burns real worker time before crashing: a misbehaving
+                // tenant steals capacity, it doesn't just fail cheaply —
+                // and each retry steals it again.
+                mine.push(service.submit(spec, |_| {
+                    spin_for(500);
+                    panic!("chaos tenant always faults")
+                }));
+                std::thread::sleep(Duration::from_micros(300 / workers as u64));
+            }
+            mine
+        });
+        for g in generators {
+            well_behaved.extend(g.join().expect("generator thread panicked"));
+        }
+        chaos_handles.extend(chaos.join().expect("chaos thread panicked"));
+    });
+
+    let mut turnarounds: Vec<Duration> = Vec::new();
+    let mut completed = 0;
+    let mut timed_out = 0;
+    let mut shed = 0;
+    for h in &well_behaved {
+        let o = h.wait();
+        match o.state {
+            JobState::Completed => {
+                completed += 1;
+                turnarounds.push(o.turnaround);
+            }
+            JobState::TimedOut => timed_out += 1,
+            JobState::Rejected if o.reject_reason == Some(grain_service::RejectReason::Shed) => {
+                shed += 1;
+            }
+            _ => {}
+        }
+    }
+    for h in &chaos_handles {
+        let _ = h.wait();
+    }
+    turnarounds.sort();
+    OverloadResult {
+        completed,
+        timed_out,
+        shed,
+        breaker_rejected: service.breaker_rejections(),
+        p50: percentile(&turnarounds, 0.50),
+        p99: percentile(&turnarounds, 0.99),
+        breaker_opens: service.breaker_opens("chaos"),
+    }
 }

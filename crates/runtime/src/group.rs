@@ -72,8 +72,12 @@ struct Hooks {
     fault: Vec<FaultHook>,
 }
 
+/// Sentinel for "no budget installed" in [`TaskGroup::budget_ns`].
+const NO_BUDGET: u64 = u64::MAX;
+
 /// A group of related tasks with in-flight accounting, a completion
-/// latch, and cooperative cancellation. See the [module docs](self).
+/// latch, cooperative cancellation, and an optional *deadline budget*.
+/// See the [module docs](self).
 pub struct TaskGroup {
     token: CancelToken,
     in_flight: AtomicUsize,
@@ -82,6 +86,16 @@ pub struct TaskGroup {
     skipped: AtomicU64,
     faulted: AtomicU64,
     exec_ns: AtomicU64,
+    /// Time anchor for the deadline budget: `budget_ns` is measured from
+    /// here so the hot-path check is a single atomic load plus a
+    /// monotonic clock read (no locked `Instant` needed).
+    created_at: Instant,
+    /// Absolute budget deadline as nanoseconds since `created_at`;
+    /// [`NO_BUDGET`] means no budget is installed.
+    budget_ns: AtomicU64,
+    /// Members skipped at dispatch specifically because the budget was
+    /// exhausted (a subset of `skipped`).
+    budget_skipped: AtomicU64,
     first_fault: Mutex<Option<TaskError>>,
     hooks: Mutex<Hooks>,
     cv: Condvar,
@@ -97,6 +111,9 @@ impl Default for TaskGroup {
             skipped: AtomicU64::new(0),
             faulted: AtomicU64::new(0),
             exec_ns: AtomicU64::new(0),
+            created_at: Instant::now(),
+            budget_ns: AtomicU64::new(NO_BUDGET),
+            budget_skipped: AtomicU64::new(0),
             first_fault: Mutex::new(None),
             hooks: Mutex::new(Hooks::default()),
             cv: Condvar::new(),
@@ -170,6 +187,58 @@ impl TaskGroup {
     /// Total execution nanoseconds accumulated by the group's phases.
     pub fn exec_ns(&self) -> u64 {
         self.exec_ns.load(Ordering::SeqCst)
+    }
+
+    /// Install a deadline budget: after `deadline`, members of this group
+    /// are cancelled at dispatch (their bodies never run) instead of
+    /// executed-then-discarded. The job service calls this with the job's
+    /// absolute deadline so a job that has already lost its race does not
+    /// keep burning worker time on tasks nobody will collect. Idempotent;
+    /// the latest call wins.
+    pub fn set_budget_deadline(&self, deadline: Instant) {
+        let ns = deadline
+            .saturating_duration_since(self.created_at)
+            .as_nanos()
+            .min(u128::from(NO_BUDGET - 1)) as u64;
+        self.budget_ns.store(ns, Ordering::SeqCst);
+    }
+
+    /// Remove the budget (members dispatch normally again).
+    pub fn clear_budget(&self) {
+        self.budget_ns.store(NO_BUDGET, Ordering::SeqCst);
+    }
+
+    /// Time remaining before the budget deadline, or `None` if no budget
+    /// is installed. Returns `Some(ZERO)` once the budget is exhausted.
+    pub fn remaining_budget(&self) -> Option<Duration> {
+        let ns = self.budget_ns.load(Ordering::SeqCst);
+        if ns == NO_BUDGET {
+            return None;
+        }
+        let elapsed = self.created_at.elapsed();
+        Some(Duration::from_nanos(ns).saturating_sub(elapsed))
+    }
+
+    /// Is a budget installed *and* already spent? The worker's dispatch
+    /// skip path polls this, so it is a single atomic load when no budget
+    /// is installed.
+    pub fn budget_exhausted(&self) -> bool {
+        let ns = self.budget_ns.load(Ordering::SeqCst);
+        ns != NO_BUDGET && self.created_at.elapsed().as_nanos() >= u128::from(ns)
+    }
+
+    /// Members skipped at dispatch because the budget was exhausted (a
+    /// subset of [`skipped`](Self::skipped)).
+    pub fn budget_skipped(&self) -> u64 {
+        self.budget_skipped.load(Ordering::SeqCst)
+    }
+
+    /// A member was discarded at dispatch because the group's budget was
+    /// exhausted. Counts into both `budget_skipped` and `skipped`. Pairs
+    /// with [`enter`](Self::enter).
+    pub fn exit_over_budget(&self) {
+        self.budget_skipped.fetch_add(1, Ordering::SeqCst);
+        self.exit_skipped();
     }
 
     /// Account a member into the group. Called by the grouped spawn
@@ -329,6 +398,7 @@ impl std::fmt::Debug for TaskGroup {
             .field("skipped", &self.skipped())
             .field("faulted", &self.faulted())
             .field("cancelled", &self.is_cancelled())
+            .field("remaining_budget", &self.remaining_budget())
             .finish()
     }
 }
@@ -439,6 +509,36 @@ mod tests {
         g.reset_faults();
         assert_eq!(g.faulted(), 0);
         assert!(g.first_fault().is_none());
+    }
+
+    #[test]
+    fn budget_defaults_to_none_and_clamps_at_zero() {
+        let g = TaskGroup::new();
+        assert_eq!(g.remaining_budget(), None);
+        assert!(!g.budget_exhausted());
+        g.set_budget_deadline(Instant::now() + Duration::from_secs(60));
+        let left = g.remaining_budget().expect("budget installed");
+        assert!(left > Duration::from_secs(50), "left = {left:?}");
+        assert!(!g.budget_exhausted());
+        // A deadline in the past saturates to zero remaining.
+        g.set_budget_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(g.remaining_budget(), Some(Duration::ZERO));
+        assert!(g.budget_exhausted());
+        g.clear_budget();
+        assert_eq!(g.remaining_budget(), None);
+        assert!(!g.budget_exhausted());
+    }
+
+    #[test]
+    fn over_budget_exit_counts_into_both_skip_counters() {
+        let g = TaskGroup::new();
+        g.enter();
+        g.enter();
+        g.exit_over_budget();
+        g.exit_skipped();
+        assert_eq!(g.budget_skipped(), 1);
+        assert_eq!(g.skipped(), 2);
+        assert_eq!(g.in_flight(), 0);
     }
 
     #[test]

@@ -502,6 +502,16 @@ impl TaskContext<'_> {
         self.group.as_ref()
     }
 
+    /// Time left in the ambient deadline budget
+    /// ([`TaskGroup::remaining_budget`]), or `None` when the task is
+    /// ungrouped or its group has no budget installed. Long-running bodies
+    /// can use this to right-size their next slice of work — the dispatch
+    /// path already skips whole tasks once the budget is spent, but only a
+    /// running body can cut *itself* short.
+    pub fn remaining_budget(&self) -> Option<Duration> {
+        self.group.as_deref().and_then(TaskGroup::remaining_budget)
+    }
+
     /// Arrange for this task to be resumed when `future` becomes ready,
     /// then return [`Poll::Suspend`] from the body. The task enters the
     /// *suspended* state and its next activation is a new thread phase.
@@ -630,7 +640,14 @@ fn watchdog_loop(inner: Arc<Inner>, cfg: WatchdogConfig) {
             inner.in_flight.load(Ordering::SeqCst),
             inner.dormant.load(Ordering::SeqCst),
         );
-        let work_exists = sig.2 > 0 || sig.3 > 0;
+        // A flat signature is only suspicious if the runtime could have
+        // made progress: there must be work (tasks in flight or dormant
+        // dataflow reservations) *and* at least one active worker. A
+        // runtime throttled to zero workers (`set_active_workers(0)` — a
+        // paused/idle service) is expected to sit still; counting that as
+        // a stall would page on every quiet period.
+        let paused = inner.active_limit.load(Ordering::SeqCst) == 0;
+        let work_exists = (sig.2 > 0 || sig.3 > 0) && !paused;
         if sig != last_sig {
             last_sig = sig;
             flat_since = Instant::now();

@@ -52,19 +52,34 @@ pub(crate) fn worker_loop(inner: Arc<Inner>, w: usize) {
         match inner.scheduler.find_work(w, counters) {
             Some((mut task, prov)) => {
                 failed_rounds = 0;
-                if let Some(group) = task.group.as_ref().filter(|g| g.is_cancelled()) {
+                let skip = task.group.as_ref().and_then(|g| {
+                    if g.is_cancelled() {
+                        Some((std::sync::Arc::clone(g), false))
+                    } else if g.budget_exhausted() {
+                        // Deadline budget propagation: the job this task
+                        // belongs to has already spent its deadline, so
+                        // running the body would be work nobody collects.
+                        Some((std::sync::Arc::clone(g), true))
+                    } else {
+                        None
+                    }
+                });
+                if let Some((group, over_budget)) = skip {
                     // Cooperative cancellation: the body never runs. The
                     // task still terminates (legally) so in-flight counts
                     // — runtime-wide and group — stay balanced. The frame
                     // may hold an unfulfilled promise; dropping it under
                     // this reason faults the future with `Cancelled`
                     // instead of `BrokenPromise`.
-                    let group = std::sync::Arc::clone(group);
                     task.transition(TaskState::Active);
                     task.transition(TaskState::Terminated);
                     fault::with_drop_reason(TaskError::Cancelled, move || drop(task));
                     inner.task_done();
-                    group.exit_skipped();
+                    if over_budget {
+                        group.exit_over_budget();
+                    } else {
+                        group.exit_skipped();
+                    }
                     // Dispatch bookkeeping stays honest: skipping is part
                     // of the search-to-search interval, charged to Σt_func
                     // by the next successful dispatch via `mark`.

@@ -182,6 +182,36 @@ fn watchdog_stays_quiet_on_a_healthy_run() {
 }
 
 #[test]
+fn watchdog_stays_quiet_while_throttled_to_zero_workers() {
+    let rt = Runtime::new(RuntimeConfig {
+        watchdog: Some(WatchdogConfig {
+            interval: Duration::from_millis(5),
+            stall_after: Duration::from_millis(30),
+        }),
+        ..RuntimeConfig::with_workers(2)
+    });
+    // Pause the runtime, then queue work. The signature is flat and work
+    // exists, but zero active workers means "deliberately paused", not
+    // "stalled" — the watchdog must not page.
+    rt.set_active_workers(0);
+    let fut = rt.async_call(|_| 11u32);
+    std::thread::sleep(Duration::from_millis(150));
+    let q = |name: &str| {
+        rt.registry()
+            .query(&format!("/runtime{{locality#0/total}}/watchdog/{name}"))
+            .expect("watchdog counters are registered")
+            .value
+    };
+    assert!(q("checks") >= 1.0, "watchdog thread never sampled");
+    assert_eq!(q("stalls"), 0.0, "paused runtime misread as a stall");
+    assert_eq!(q("dumps"), 0.0);
+    // Resuming drains the queued work normally.
+    rt.set_active_workers(2);
+    assert_eq!(*fut.get(), 11);
+    rt.wait_idle();
+}
+
+#[test]
 fn dead_worker_turns_wait_idle_into_a_loud_failure() {
     let rt = two_workers();
     // Returning Suspend without registering a wake source violates the

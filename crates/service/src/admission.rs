@@ -19,10 +19,13 @@
 //!    as often as a tenant with weight 1 under contention; idle tenants
 //!    rejoin at the current front rather than accumulating credit.
 
+#![deny(clippy::unwrap_used)]
+
 use crate::job::JobCore;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Admission-control configuration.
 #[derive(Debug, Clone)]
@@ -63,7 +66,39 @@ impl AdmissionConfig {
     }
 }
 
-/// Why a submission was refused.
+/// The coarse *class* of a refusal — what a dashboard or audit log keys
+/// on. The full [`AdmissionError`] carries the details; this enum is the
+/// stable, cheap-to-match discriminant surfaced in
+/// [`crate::job::JobOutcome::reject_reason`] so callers never have to
+/// conflate "the queue was full" with "your job was shed" or "your
+/// tenant's breaker is open" — three conditions with three different
+/// correct client responses (back off, resubmit with slack, stop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Backpressure: the waiting-job bound was hit at submit time.
+    QueueFull,
+    /// Load shedding: the pressure controller dropped the job from the
+    /// queue (its deadline slack was already spent, or it was the oldest
+    /// entry under critical pressure).
+    Shed,
+    /// The tenant's circuit breaker was open at submit time.
+    BreakerOpen,
+    /// The service was shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull => write!(f, "queue-full"),
+            RejectReason::Shed => write!(f, "shed"),
+            RejectReason::BreakerOpen => write!(f, "breaker-open"),
+            RejectReason::ShuttingDown => write!(f, "shutting-down"),
+        }
+    }
+}
+
+/// Why a submission was refused (or a queued job later dropped).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AdmissionError {
     /// The waiting-job bound was hit; retry later.
@@ -73,8 +108,37 @@ pub enum AdmissionError {
         /// The configured bound.
         limit: usize,
     },
+    /// The pressure controller shed the job from the queue: by the time
+    /// it could have been admitted it could no longer meet its deadline
+    /// (or it was the oldest entry under critical pressure).
+    Shed {
+        /// How long the job had been waiting when it was shed.
+        queued_for: Duration,
+        /// The job's deadline, if it had one.
+        deadline: Option<Duration>,
+    },
+    /// The tenant's circuit breaker is open after repeated
+    /// failures/timeouts; resubmit after the cooldown.
+    BreakerOpen {
+        /// The owning tenant.
+        tenant: String,
+        /// Time until the breaker next admits a probe.
+        retry_after: Duration,
+    },
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
+}
+
+impl AdmissionError {
+    /// The coarse class of this refusal.
+    pub fn reason(&self) -> RejectReason {
+        match self {
+            AdmissionError::QueueFull { .. } => RejectReason::QueueFull,
+            AdmissionError::Shed { .. } => RejectReason::Shed,
+            AdmissionError::BreakerOpen { .. } => RejectReason::BreakerOpen,
+            AdmissionError::ShuttingDown => RejectReason::ShuttingDown,
+        }
+    }
 }
 
 impl fmt::Display for AdmissionError {
@@ -82,6 +146,25 @@ impl fmt::Display for AdmissionError {
         match self {
             AdmissionError::QueueFull { queued, limit } => {
                 write!(f, "admission queue full ({queued} waiting, limit {limit})")
+            }
+            AdmissionError::Shed {
+                queued_for,
+                deadline,
+            } => match deadline {
+                Some(d) => write!(
+                    f,
+                    "shed under pressure after {queued_for:?} in queue (deadline {d:?})"
+                ),
+                None => write!(f, "shed under pressure after {queued_for:?} in queue"),
+            },
+            AdmissionError::BreakerOpen {
+                tenant,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "circuit breaker open for tenant {tenant:?} (retry in {retry_after:?})"
+                )
             }
             AdmissionError::ShuttingDown => write!(f, "service is shutting down"),
         }
@@ -212,6 +295,7 @@ impl FairQueues {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::counters::JobCounters;

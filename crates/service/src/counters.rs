@@ -134,6 +134,9 @@ pub struct ServiceCounters {
     pub retried: Arc<RawCounter>,
     /// Jobs refused by admission control.
     pub rejected: Arc<RawCounter>,
+    /// Queued jobs dropped by the overload shedder (disjoint from
+    /// `rejected`: `submitted = admitted + rejected + shed + …`).
+    pub shed: Arc<RawCounter>,
     /// Submission-to-admission latency, log₂ ns buckets.
     pub admission_latency: Arc<LogHistogram>,
     /// Submission-to-finish turnaround of admitted jobs, log₂ ns buckets.
@@ -157,10 +160,11 @@ impl ServiceCounters {
             failed: Arc::new(RawCounter::new()),
             retried: Arc::new(RawCounter::new()),
             rejected: Arc::new(RawCounter::new()),
+            shed: Arc::new(RawCounter::new()),
             admission_latency: Arc::new(LogHistogram::new()),
             turnaround: Arc::new(LogHistogram::new()),
         };
-        let raws: [(&str, &Arc<RawCounter>); 8] = [
+        let raws: [(&str, &Arc<RawCounter>); 9] = [
             ("jobs/submitted", &this.submitted),
             ("jobs/admitted", &this.admitted),
             ("jobs/completed", &this.completed),
@@ -169,6 +173,7 @@ impl ServiceCounters {
             ("jobs/failed", &this.failed),
             ("jobs/retried", &this.retried),
             ("jobs/rejected", &this.rejected),
+            ("jobs/shed", &this.shed),
         ];
         for (name, raw) in raws {
             let raw = Arc::clone(raw);

@@ -11,7 +11,9 @@
 //!    │                       ├──────▶ Failed      (task fault, FailurePolicy)
 //!    │                       └──╮
 //!    ╰──────── retry ───────────╯                 (RetryWithBackoff)
-//!    └──────────────────────────────▶ Rejected    (admission control)
+//!    └──────────────────────────────▶ Rejected    (admission control:
+//!                                      queue-full | shed | breaker-open |
+//!                                      shutting-down — see RejectReason)
 //! ```
 //!
 //! Every task the job's root spawns (directly or transitively, through
@@ -19,7 +21,7 @@
 //! [`grain_runtime::TaskGroup`], which is what makes `wait`, `cancel`
 //! and deadlines work per job instead of per runtime.
 
-use crate::admission::AdmissionError;
+use crate::admission::{AdmissionError, RejectReason};
 use crate::counters::JobCounters;
 use grain_counters::sync::{Condvar, Mutex};
 use grain_counters::{CounterValue, RegistryError};
@@ -85,7 +87,10 @@ pub enum JobState {
     /// fault) and the job's [`FailurePolicy`] did not (or could no
     /// longer) retry. The first fault is in [`JobOutcome::fault`].
     Failed,
-    /// Refused by admission control (queue bound or shutdown).
+    /// Refused by admission control — backpressure, load shedding, an
+    /// open circuit breaker, or shutdown. The *class* of refusal is in
+    /// [`JobOutcome::reject_reason`] / [`JobHandle::rejection`]; these
+    /// are distinct conditions and must not be conflated.
     Rejected,
 }
 
@@ -243,6 +248,9 @@ pub(crate) struct JobCore {
     state_cv: Condvar,
     pub(crate) cancel_requested: AtomicBool,
     pub(crate) timed_out: AtomicBool,
+    /// This admission was a half-open circuit-breaker probe; its outcome
+    /// decides whether the tenant's breaker re-closes or re-opens.
+    pub(crate) probe: AtomicBool,
     pub(crate) rejection: Mutex<Option<AdmissionError>>,
     pub(crate) submitted_at: Instant,
     pub(crate) admitted_at: Mutex<Option<Instant>>,
@@ -281,6 +289,7 @@ impl JobCore {
             state_cv: Condvar::new(),
             cancel_requested: AtomicBool::new(false),
             timed_out: AtomicBool::new(false),
+            probe: AtomicBool::new(false),
             rejection: Mutex::new(None),
             submitted_at: Instant::now(),
             admitted_at: Mutex::new(None),
@@ -408,12 +417,21 @@ impl JobCore {
             state,
             tasks_completed: self.group.completed(),
             tasks_skipped: self.group.skipped(),
+            tasks_budget_skipped: self.group.budget_skipped(),
             tasks_spawned: self.group.spawned(),
             tasks_faulted: self.group.faulted(),
             exec_ns: self.group.exec_ns(),
             turnaround: self.turnaround(),
             fault: self.group.first_fault(),
             retries: self.retried.load(Ordering::SeqCst),
+            // Gated on the state: a shed attempt that lost its race to a
+            // concurrent cancel clears `rejection` after the fact, and a
+            // non-rejected outcome must never surface a reject reason.
+            reject_reason: if state == JobState::Rejected {
+                self.rejection.lock().as_ref().map(AdmissionError::reason)
+            } else {
+                None
+            },
         }
     }
 }
@@ -430,6 +448,10 @@ pub struct JobOutcome {
     /// Tasks skipped by cancellation (queued members never executed and
     /// dataflow nodes released before spawning).
     pub tasks_skipped: u64,
+    /// The subset of `tasks_skipped` dropped at dispatch because the
+    /// job's deadline budget was already exhausted (deadline
+    /// propagation, [`grain_runtime::TaskGroup::budget_exhausted`]).
+    pub tasks_budget_skipped: u64,
     /// Total tasks ever entered into the job's group.
     pub tasks_spawned: u64,
     /// Tasks that faulted in the job's *last* attempt (the count is
@@ -444,6 +466,10 @@ pub struct JobOutcome {
     pub fault: Option<TaskError>,
     /// Retries performed (attempts − 1 for admitted jobs).
     pub retries: u64,
+    /// For [`JobState::Rejected`] jobs, the class of refusal
+    /// (backpressure, shed, breaker, shutdown); `None` otherwise. The
+    /// full detail is in [`JobHandle::rejection`].
+    pub reject_reason: Option<RejectReason>,
 }
 
 /// Client-side handle to a submitted job. Cheap to clone; the job's
@@ -483,6 +509,16 @@ impl JobHandle {
     /// Why admission refused the job, if it was rejected.
     pub fn rejection(&self) -> Option<AdmissionError> {
         self.core.rejection.lock().clone()
+    }
+
+    /// The coarse class of the refusal (queue-full vs shed vs
+    /// breaker-open vs shutdown), if the job was rejected.
+    pub fn reject_reason(&self) -> Option<RejectReason> {
+        self.core
+            .rejection
+            .lock()
+            .as_ref()
+            .map(AdmissionError::reason)
     }
 
     /// The first fault of the job's current/last attempt, if any.

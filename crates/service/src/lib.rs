@@ -23,6 +23,14 @@
 //!   count (backpressure: excess submissions come back `Rejected`) and
 //!   the total in-flight task budget, and drains tenant queues in
 //!   weighted fair-share (stride) order.
+//! * **Overload resilience**: a pressure control loop
+//!   ([`PressureConfig`]) folds the runtime's overhead fraction and the
+//!   queue fill into a smoothed [`PressureSignal`], adaptively shrinks
+//!   the in-flight budget (AIMD) under sustained overhead, and sheds
+//!   queued jobs that can no longer meet their deadlines
+//!   ([`RejectReason::Shed`]); per-tenant circuit breakers
+//!   ([`BreakerConfig`]) trip on rolling failure rate so one flapping
+//!   tenant cannot starve the others' retry budget.
 //! * **Cancellation and deadlines** ride on
 //!   [`grain_runtime::TaskGroup`]: every task a job spawns joins the
 //!   job's group, so [`JobHandle::cancel`] skips the job's queued tasks
@@ -54,13 +62,17 @@
 //! ```
 
 pub mod admission;
+pub mod breaker;
 pub mod counters;
 pub mod job;
+pub mod pressure;
 pub mod service;
 
-pub use admission::{AdmissionConfig, AdmissionError};
+pub use admission::{AdmissionConfig, AdmissionError, RejectReason};
+pub use breaker::{BreakerConfig, BreakerState};
 pub use counters::{JobCounters, ServiceCounters};
 pub use job::{FailurePolicy, JobHandle, JobId, JobOutcome, JobPriority, JobSpec, JobState};
+pub use pressure::{PressureConfig, PressureLevel, PressureSignal};
 pub use service::{JobService, ServiceConfig};
 
 // Re-export the layers underneath so service users need one dependency.

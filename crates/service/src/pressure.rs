@@ -1,0 +1,603 @@
+//! The overload-pressure control loop.
+//!
+//! The paper's diagnosis is that a runtime dies at the extremes of task
+//! grain: too fine and scheduling overhead dominates (`/threads/idle-rate`
+//! climbs, Eq. 1), too coarse and cores starve. PR 0–2 built the
+//! *measurement* surface for that regime; this module closes the loop and
+//! *acts* on it. Every dispatcher tick the [`PressureController`] samples:
+//!
+//! * the **windowed overhead fraction** — the delta form of the paper's
+//!   idle-rate, `(Δt_func − Δt_exec) / Δt_func` over the last sample
+//!   interval, smoothed with an EWMA so one noisy window cannot flap the
+//!   controller;
+//! * the **queue fill fraction** — jobs waiting vs.
+//!   [`crate::AdmissionConfig::max_queued_jobs`] (the service-level
+//!   analogue of the pending/staged queue lengths);
+//! * the **sojourn of the oldest queued job** — the head of the
+//!   admission-latency distribution as it is forming.
+//!
+//! Those condense into a [`PressureSignal`] with three effects:
+//!
+//! 1. **Adaptive in-flight budget (AIMD)** — while the smoothed overhead
+//!    fraction sits above [`PressureConfig::overhead_high`] with work
+//!    queued, the admission budget is cut multiplicatively
+//!    ([`PressureConfig::decrease_factor`], at most once per
+//!    [`PressureConfig::decrease_every`]); when it falls back below
+//!    [`PressureConfig::overhead_low`] the budget regrows additively
+//!    ([`PressureConfig::increase_step`]) toward the configured maximum.
+//!    Fewer concurrent fine-grain jobs → less scheduling overhead per
+//!    unit of useful work — the control knob is exactly the paper's
+//!    task-size lever, applied at the job level.
+//! 2. **Deadline-slack shedding** — a queued job whose sojourn plus the
+//!    EWMA-estimated service time already exceeds its deadline can no
+//!    longer finish in time; it is shed *now* (terminal `Rejected`,
+//!    reason [`crate::RejectReason::Shed`]) instead of admitted to burn
+//!    budget on work nobody will collect.
+//! 3. **CoDel-style head drop** — under [`PressureLevel::Critical`], if
+//!    the oldest sojourn stays above [`PressureConfig::shed_target`] for
+//!    a whole [`PressureConfig::shed_interval`], the oldest queued job is
+//!    dropped (one per interval), bounding queue delay for deadline-less
+//!    jobs the slack rule cannot reach.
+//!
+//! With `enabled = false` the service behaves exactly as before this
+//! module existed (queued jobs whose deadline expires finish as
+//! `TimedOut`, the budget is static).
+
+#![deny(clippy::unwrap_used)]
+
+use crate::job::{JobCore, JobState};
+use grain_counters::derived::DerivedCounter;
+use grain_counters::sync::Mutex;
+use grain_counters::{Registry, RegistryError, Unit};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Pressure-controller configuration.
+#[derive(Debug, Clone)]
+pub struct PressureConfig {
+    /// Master switch. `false` restores the pre-pressure behavior: static
+    /// budget, no shedding, queued deadline expiry → `TimedOut`.
+    pub enabled: bool,
+    /// Minimum interval between counter samples (the dispatcher ticks
+    /// faster; extra ticks are no-ops).
+    pub sample_every: Duration,
+    /// EWMA smoothing factor for the overhead fraction, in `0.0..=1.0`
+    /// (higher = reacts faster, flaps easier).
+    pub ewma_alpha: f64,
+    /// Smoothed overhead fraction above which the budget shrinks.
+    pub overhead_high: f64,
+    /// Smoothed overhead fraction below which the budget regrows.
+    pub overhead_low: f64,
+    /// Queue fill fraction for [`PressureLevel::Elevated`].
+    pub queue_elevated: f64,
+    /// Queue fill fraction for [`PressureLevel::Critical`].
+    pub queue_critical: f64,
+    /// Floor for the adaptive budget (clamped to the configured maximum).
+    pub min_budget: u64,
+    /// Multiplicative budget decrease under sustained high overhead.
+    pub decrease_factor: f64,
+    /// Rate limit on multiplicative decreases.
+    pub decrease_every: Duration,
+    /// Additive budget regrowth per sample once overhead is low again.
+    pub increase_step: u64,
+    /// CoDel target: the oldest queued sojourn the service will tolerate
+    /// under critical pressure.
+    pub shed_target: Duration,
+    /// CoDel interval: how long the oldest sojourn must stay above the
+    /// target before one job is dropped (and the period between drops).
+    pub shed_interval: Duration,
+}
+
+impl Default for PressureConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            sample_every: Duration::from_millis(1),
+            ewma_alpha: 0.2,
+            overhead_high: 0.6,
+            overhead_low: 0.3,
+            queue_elevated: 0.5,
+            queue_critical: 0.75,
+            min_budget: 8,
+            decrease_factor: 0.5,
+            decrease_every: Duration::from_millis(50),
+            increase_step: 64,
+            shed_target: Duration::from_millis(25),
+            shed_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Coarse overload classification, exported as the
+/// `/service/pressure/level` gauge (0/1/2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PressureLevel {
+    /// Healthy: queue shallow, overhead low.
+    Nominal,
+    /// Building: the queue is filling or overhead is high.
+    Elevated,
+    /// Overloaded: the queue is near its bound (or deep with high
+    /// overhead); CoDel head drop arms.
+    Critical,
+}
+
+impl fmt::Display for PressureLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PressureLevel::Nominal => write!(f, "nominal"),
+            PressureLevel::Elevated => write!(f, "elevated"),
+            PressureLevel::Critical => write!(f, "critical"),
+        }
+    }
+}
+
+/// One smoothed snapshot of the control inputs and outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PressureSignal {
+    /// EWMA of the windowed overhead fraction (the paper's idle-rate,
+    /// Eq. 1, over the last sample windows).
+    pub overhead: f64,
+    /// Queue fill fraction at the last sample (`0.0..=1.0`).
+    pub queue_fill: f64,
+    /// Classification derived from the two inputs.
+    pub level: PressureLevel,
+    /// The adaptive in-flight task budget currently enforced.
+    pub budget_limit: u64,
+    /// EWMA of observed admitted-to-finished service time, used for
+    /// deadline-slack shedding.
+    pub est_service: Duration,
+}
+
+/// Sampling bookkeeping only the dispatcher touches.
+struct SampleBook {
+    last_at: Instant,
+    last_func_ns: u64,
+    last_exec_ns: u64,
+    last_decrease: Instant,
+    /// Since when the oldest queued sojourn has continuously exceeded
+    /// `shed_target` under critical pressure (CoDel state).
+    above_since: Option<Instant>,
+    primed: bool,
+}
+
+/// The controller: shared atomics for the gauge surface, a small mutex
+/// for dispatcher-only sampling state. See the [module docs](self).
+pub(crate) struct PressureController {
+    cfg: PressureConfig,
+    /// Configured maximum (the admission config's `max_in_flight_tasks`).
+    max_budget: u64,
+    /// Effective floor (`min_budget` clamped into `1..=max_budget`).
+    min_budget: u64,
+    /// Current adaptive budget.
+    budget: AtomicU64,
+    /// EWMA overhead fraction × 1000.
+    overhead_milli: AtomicU64,
+    /// Queue fill fraction × 1000 at the last sample.
+    fill_milli: AtomicU64,
+    /// Current [`PressureLevel`] as 0/1/2.
+    level: AtomicU64,
+    /// EWMA service time in nanoseconds.
+    est_service_ns: AtomicU64,
+    book: Mutex<SampleBook>,
+}
+
+impl PressureController {
+    pub(crate) fn new(cfg: PressureConfig, max_budget: u64) -> Self {
+        let max_budget = max_budget.max(1);
+        let min_budget = cfg.min_budget.clamp(1, max_budget);
+        let now = Instant::now();
+        Self {
+            cfg,
+            max_budget,
+            min_budget,
+            budget: AtomicU64::new(max_budget),
+            overhead_milli: AtomicU64::new(0),
+            fill_milli: AtomicU64::new(0),
+            level: AtomicU64::new(0),
+            est_service_ns: AtomicU64::new(0),
+            book: Mutex::new(SampleBook {
+                last_at: now,
+                last_func_ns: 0,
+                last_exec_ns: 0,
+                last_decrease: now,
+                above_since: None,
+                primed: false,
+            }),
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// The in-flight budget admission must respect right now.
+    pub(crate) fn budget_limit(&self) -> u64 {
+        if self.cfg.enabled {
+            self.budget.load(Ordering::SeqCst)
+        } else {
+            self.max_budget
+        }
+    }
+
+    pub(crate) fn level(&self) -> PressureLevel {
+        match self.level.load(Ordering::SeqCst) {
+            0 => PressureLevel::Nominal,
+            1 => PressureLevel::Elevated,
+            _ => PressureLevel::Critical,
+        }
+    }
+
+    /// The current smoothed snapshot.
+    pub(crate) fn signal(&self) -> PressureSignal {
+        PressureSignal {
+            overhead: self.overhead_milli.load(Ordering::SeqCst) as f64 / 1000.0,
+            queue_fill: self.fill_milli.load(Ordering::SeqCst) as f64 / 1000.0,
+            level: self.level(),
+            budget_limit: self.budget_limit(),
+            est_service: Duration::from_nanos(self.est_service_ns.load(Ordering::SeqCst)),
+        }
+    }
+
+    /// Feed one admitted-to-finished service time into the slack
+    /// estimator (called at settle for admitted jobs).
+    pub(crate) fn observe_service_time(&self, d: Duration) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let obs = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let prev = self.est_service_ns.load(Ordering::SeqCst);
+        let next = if prev == 0 {
+            obs
+        } else {
+            let a = self.cfg.ewma_alpha.clamp(0.0, 1.0);
+            (a * obs as f64 + (1.0 - a) * prev as f64) as u64
+        };
+        self.est_service_ns.store(next, Ordering::SeqCst);
+    }
+
+    pub(crate) fn est_service(&self) -> Duration {
+        Duration::from_nanos(self.est_service_ns.load(Ordering::SeqCst))
+    }
+
+    /// One control-loop tick: ingest cumulative `Σt_func`/`Σt_exec` (the
+    /// runtime's thread counters) and the queue state, update the EWMA,
+    /// the level, and the AIMD budget. Rate-limited internally to
+    /// [`PressureConfig::sample_every`].
+    pub(crate) fn sample(
+        &self,
+        now: Instant,
+        func_ns: u64,
+        exec_ns: u64,
+        queue_len: usize,
+        queue_cap: usize,
+    ) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let mut book = self.book.lock();
+        if book.primed && now.saturating_duration_since(book.last_at) < self.cfg.sample_every {
+            return;
+        }
+        let d_func = func_ns.saturating_sub(book.last_func_ns);
+        let d_exec = exec_ns.saturating_sub(book.last_exec_ns);
+        let first = !book.primed;
+        book.last_func_ns = func_ns;
+        book.last_exec_ns = exec_ns;
+        book.last_at = now;
+        book.primed = true;
+        if first {
+            // The first window spans service startup; discard it.
+            return;
+        }
+
+        let inst = if d_func > 0 {
+            (d_func.saturating_sub(d_exec)) as f64 / d_func as f64
+        } else {
+            // No thread activity in the window: the runtime is either
+            // idle or fully busy inside long phases; neither is overhead.
+            0.0
+        };
+        let a = self.cfg.ewma_alpha.clamp(0.0, 1.0);
+        let prev = self.overhead_milli.load(Ordering::SeqCst) as f64 / 1000.0;
+        let overhead = (a * inst + (1.0 - a) * prev).clamp(0.0, 1.0);
+        self.overhead_milli
+            .store((overhead * 1000.0) as u64, Ordering::SeqCst);
+
+        let fill = (queue_len as f64 / queue_cap.max(1) as f64).clamp(0.0, 1.0);
+        self.fill_milli
+            .store((fill * 1000.0) as u64, Ordering::SeqCst);
+
+        let level = if fill >= self.cfg.queue_critical
+            || (overhead >= self.cfg.overhead_high && fill >= self.cfg.queue_elevated)
+        {
+            PressureLevel::Critical
+        } else if fill >= self.cfg.queue_elevated || overhead >= self.cfg.overhead_high {
+            PressureLevel::Elevated
+        } else {
+            PressureLevel::Nominal
+        };
+        self.level.store(level as u64, Ordering::SeqCst);
+        if level < PressureLevel::Critical {
+            book.above_since = None;
+        }
+
+        // AIMD budget: multiplicative decrease under sustained overhead
+        // with work actually waiting, additive regrowth once calm.
+        let budget = self.budget.load(Ordering::SeqCst);
+        if overhead >= self.cfg.overhead_high && queue_len > 0 {
+            if now.saturating_duration_since(book.last_decrease) >= self.cfg.decrease_every {
+                let cut = ((budget as f64) * self.cfg.decrease_factor.clamp(0.0, 1.0)) as u64;
+                self.budget.store(
+                    cut.clamp(self.min_budget, self.max_budget),
+                    Ordering::SeqCst,
+                );
+                book.last_decrease = now;
+            }
+        } else if overhead <= self.cfg.overhead_low && budget < self.max_budget {
+            self.budget.store(
+                budget
+                    .saturating_add(self.cfg.increase_step.max(1))
+                    .min(self.max_budget),
+                Ordering::SeqCst,
+            );
+        }
+    }
+
+    /// Pick the queued jobs to shed this tick. Called by the dispatcher
+    /// with the queue lock held — the scan is one pass; actual state
+    /// transitions happen outside afterwards. `queued` yields every
+    /// waiting job (terminal entries are skipped here).
+    pub(crate) fn select_sheds<'a>(
+        &self,
+        now: Instant,
+        queued: impl Iterator<Item = &'a Arc<JobCore>>,
+    ) -> Vec<Arc<JobCore>> {
+        if !self.cfg.enabled {
+            return Vec::new();
+        }
+        let est = self.est_service();
+        let mut sheds = Vec::new();
+        let mut oldest: Option<(&'a Arc<JobCore>, Duration)> = None;
+        for core in queued {
+            if core.state() != JobState::Queued {
+                continue;
+            }
+            let sojourn = now.saturating_duration_since(core.submitted_at);
+            if let Some(deadline) = core.spec.deadline {
+                // Slack rule: by the time this job could run to
+                // completion, its deadline will have passed.
+                if sojourn + est >= deadline {
+                    sheds.push(Arc::clone(core));
+                    continue;
+                }
+            }
+            if oldest.is_none_or(|(_, s)| sojourn > s) {
+                oldest = Some((core, sojourn));
+            }
+        }
+        // CoDel head drop: only under critical pressure, only when the
+        // oldest sojourn has been above target for a full interval.
+        let mut book = self.book.lock();
+        match (self.level(), oldest) {
+            (PressureLevel::Critical, Some((head, sojourn))) if sojourn > self.cfg.shed_target => {
+                match book.above_since {
+                    None => book.above_since = Some(now),
+                    Some(since)
+                        if now.saturating_duration_since(since) >= self.cfg.shed_interval =>
+                    {
+                        sheds.push(Arc::clone(head));
+                        book.above_since = Some(now);
+                    }
+                    Some(_) => {}
+                }
+            }
+            _ => book.above_since = None,
+        }
+        sheds
+    }
+
+    /// Register the pressure gauge surface on `registry`:
+    /// `/service/pressure/{level,overhead,queue-fill}` and
+    /// `/service/tasks/budget-limit`.
+    pub(crate) fn register_counters(
+        self: &Arc<Self>,
+        registry: &Registry,
+    ) -> Result<(), RegistryError> {
+        let c = Arc::clone(self);
+        registry.register(
+            "/service/pressure/level",
+            DerivedCounter::new(Unit::Count, move || c.level.load(Ordering::SeqCst) as f64),
+        )?;
+        let c = Arc::clone(self);
+        registry.register(
+            "/service/pressure/overhead",
+            DerivedCounter::new(Unit::Ratio, move || {
+                c.overhead_milli.load(Ordering::SeqCst) as f64 / 1000.0
+            }),
+        )?;
+        let c = Arc::clone(self);
+        registry.register(
+            "/service/pressure/queue-fill",
+            DerivedCounter::new(Unit::Ratio, move || {
+                c.fill_milli.load(Ordering::SeqCst) as f64 / 1000.0
+            }),
+        )?;
+        let c = Arc::clone(self);
+        registry.register(
+            "/service/tasks/budget-limit",
+            DerivedCounter::new(Unit::Count, move || c.budget.load(Ordering::SeqCst) as f64),
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::counters::JobCounters;
+    use crate::job::{JobId, JobSpec};
+    use grain_runtime::TaskGroup;
+
+    fn controller(cfg: PressureConfig, max: u64) -> PressureController {
+        PressureController::new(cfg, max)
+    }
+
+    fn fast_cfg() -> PressureConfig {
+        PressureConfig {
+            sample_every: Duration::ZERO,
+            decrease_every: Duration::ZERO,
+            ..PressureConfig::default()
+        }
+    }
+
+    fn queued_core(id: u64, deadline: Option<Duration>) -> Arc<JobCore> {
+        let reg = Arc::new(Registry::new());
+        let group = TaskGroup::new();
+        let counters = JobCounters::register(&reg, &format!("p#{id}"), &group).unwrap();
+        let mut spec = JobSpec::new("p", "t");
+        spec.deadline = deadline;
+        Arc::new(JobCore::new(
+            JobId(id),
+            spec,
+            group,
+            counters,
+            Box::new(|_| {}),
+        ))
+    }
+
+    #[test]
+    fn overhead_ewma_tracks_deltas_and_level_classifies() {
+        let c = controller(fast_cfg(), 100);
+        let t0 = Instant::now();
+        c.sample(t0, 0, 0, 0, 10); // priming sample
+                                   // Pure overhead window: func grew, exec didn't.
+        for i in 1..=20u64 {
+            c.sample(t0 + Duration::from_millis(i), i * 1_000_000, 0, 8, 10);
+        }
+        let s = c.signal();
+        assert!(s.overhead > 0.8, "overhead EWMA converges up: {s:?}");
+        assert_eq!(s.level, PressureLevel::Critical, "fill 0.8 >= 0.75");
+        // Useful-work windows with an empty queue bring it back down.
+        for i in 21..=80u64 {
+            c.sample(
+                t0 + Duration::from_millis(i),
+                20 * 1_000_000 + (i - 20) * 1_000_000,
+                (i - 20) * 1_000_000,
+                0,
+                10,
+            );
+        }
+        let s = c.signal();
+        assert!(s.overhead < 0.2, "overhead EWMA converges down: {s:?}");
+        assert_eq!(s.level, PressureLevel::Nominal);
+    }
+
+    #[test]
+    fn budget_halves_under_overhead_and_regrows_additively() {
+        let cfg = PressureConfig {
+            increase_step: 10,
+            ..fast_cfg()
+        };
+        let c = controller(cfg, 100);
+        let t0 = Instant::now();
+        c.sample(t0, 0, 0, 0, 10);
+        assert_eq!(c.budget_limit(), 100);
+        // High-overhead windows with a queue: multiplicative decrease.
+        for i in 1..=30u64 {
+            c.sample(t0 + Duration::from_millis(i), i * 1_000_000, 0, 5, 10);
+        }
+        assert_eq!(c.budget_limit(), 8, "decays to the floor");
+        // Calm windows: additive regrowth toward the max.
+        for i in 31..=45u64 {
+            c.sample(
+                t0 + Duration::from_millis(i),
+                30 * 1_000_000 + (i - 30) * 1_000_000,
+                (i - 30) * 1_000_000,
+                0,
+                10,
+            );
+        }
+        let b = c.budget_limit();
+        assert!(b > 8 && b <= 100, "regrows additively: {b}");
+    }
+
+    #[test]
+    fn floor_clamps_to_the_configured_max() {
+        // max_in_flight 1 (serial admission tests): the floor must not
+        // *raise* the budget above the configured maximum.
+        let c = controller(fast_cfg(), 1);
+        assert_eq!(c.budget_limit(), 1);
+        let t0 = Instant::now();
+        c.sample(t0, 0, 0, 0, 10);
+        for i in 1..=30u64 {
+            c.sample(t0 + Duration::from_millis(i), i * 1_000_000, 0, 5, 10);
+        }
+        assert_eq!(c.budget_limit(), 1);
+    }
+
+    #[test]
+    fn slack_rule_sheds_doomed_deadline_jobs_only() {
+        let c = controller(fast_cfg(), 100);
+        let doomed = queued_core(1, Some(Duration::from_millis(10)));
+        let fine = queued_core(2, Some(Duration::from_secs(60)));
+        let no_deadline = queued_core(3, None);
+        let now = Instant::now() + Duration::from_millis(20);
+        let sheds = c.select_sheds(now, [&doomed, &fine, &no_deadline].into_iter());
+        let ids: Vec<u64> = sheds.iter().map(|c| c.id.0).collect();
+        assert_eq!(ids, vec![1], "only the doomed job is shed");
+        // With a service-time estimate, the slack rule fires early: a job
+        // 20ms into a 60ms deadline cannot finish if service takes 50ms.
+        c.est_service_ns.store(
+            Duration::from_millis(50).as_nanos() as u64,
+            Ordering::SeqCst,
+        );
+        let soon_doomed = queued_core(4, Some(Duration::from_millis(60)));
+        let sheds = c.select_sheds(now, [&soon_doomed].into_iter());
+        assert_eq!(sheds.len(), 1, "slack rule anticipates service time");
+    }
+
+    #[test]
+    fn codel_drops_the_oldest_only_under_sustained_critical() {
+        let cfg = PressureConfig {
+            shed_target: Duration::from_millis(5),
+            shed_interval: Duration::from_millis(10),
+            ..fast_cfg()
+        };
+        let c = controller(cfg, 100);
+        let old = queued_core(1, None);
+        let t0 = Instant::now();
+        // Not critical: nothing happens no matter the sojourn.
+        let t = t0 + Duration::from_millis(50);
+        assert!(c.select_sheds(t, [&old].into_iter()).is_empty());
+        // Force critical (fill 1.0), then: first scan arms, a scan a full
+        // interval later drops.
+        c.sample(t0, 0, 0, 0, 10);
+        c.sample(t0 + Duration::from_millis(1), 1, 0, 10, 10);
+        assert_eq!(c.level(), PressureLevel::Critical);
+        assert!(c.select_sheds(t, [&old].into_iter()).is_empty(), "arming");
+        let dropped = c.select_sheds(t + Duration::from_millis(11), [&old].into_iter());
+        assert_eq!(dropped.len(), 1);
+    }
+
+    #[test]
+    fn disabled_controller_is_inert() {
+        let c = controller(
+            PressureConfig {
+                enabled: false,
+                ..fast_cfg()
+            },
+            100,
+        );
+        let t0 = Instant::now();
+        for i in 0..30u64 {
+            c.sample(t0 + Duration::from_millis(i), i * 1_000_000, 0, 10, 10);
+        }
+        assert_eq!(c.budget_limit(), 100);
+        let doomed = queued_core(1, Some(Duration::from_millis(1)));
+        let now = Instant::now() + Duration::from_secs(1);
+        assert!(c.select_sheds(now, [&doomed].into_iter()).is_empty());
+    }
+}

@@ -18,8 +18,10 @@
 #![deny(clippy::unwrap_used)]
 
 use crate::admission::{AdmissionError, FairQueues};
+use crate::breaker::{BreakerConfig, BreakerDecision, BreakerSet, BreakerState};
 use crate::counters::{JobCounters, ServiceCounters};
 use crate::job::{FailurePolicy, JobCore, JobHandle, JobId, JobSpec, JobState};
+use crate::pressure::{PressureConfig, PressureController, PressureSignal};
 use grain_counters::sync::{Condvar, Mutex};
 use grain_counters::Registry;
 use grain_runtime::{Runtime, RuntimeConfig, TaskContext};
@@ -36,6 +38,10 @@ pub struct ServiceConfig {
     pub runtime: RuntimeConfig,
     /// Admission control parameters.
     pub admission: AdmissionConfig,
+    /// Overload-pressure control loop (adaptive budget + shedding).
+    pub pressure: PressureConfig,
+    /// Per-tenant circuit breakers.
+    pub breaker: BreakerConfig,
     /// Dispatcher tick: the upper bound on how long admission or a
     /// deadline can lag the event that enabled it.
     pub poll_interval: Duration,
@@ -46,6 +52,8 @@ impl Default for ServiceConfig {
         Self {
             runtime: RuntimeConfig::default(),
             admission: AdmissionConfig::default(),
+            pressure: PressureConfig::default(),
+            breaker: BreakerConfig::default(),
             poll_interval: Duration::from_micros(500),
         }
     }
@@ -76,6 +84,10 @@ struct Shared {
     admitting: AtomicU64,
     /// Jobs admitted and not yet terminal, for deadline scanning.
     running: Mutex<Vec<Arc<JobCore>>>,
+    /// Overload control loop: pressure signal, AIMD budget, shed picks.
+    pressure: Arc<PressureController>,
+    /// Per-tenant circuit breakers gating submission and retry.
+    breakers: BreakerSet,
     ids: AtomicU64,
     shutdown: AtomicBool,
     config: ServiceConfig,
@@ -94,6 +106,14 @@ impl JobService {
         let registry = Arc::new(Registry::new());
         let runtime = Runtime::new(config.runtime.clone());
         let queues = Mutex::new(FairQueues::new());
+        let pressure = Arc::new(PressureController::new(
+            config.pressure.clone(),
+            config.admission.max_in_flight_tasks,
+        ));
+        pressure
+            .register_counters(&registry)
+            .expect("fresh registry cannot collide");
+        let breakers = BreakerSet::new(config.breaker.clone(), Arc::clone(&registry));
         let shared = Arc::new_cyclic(|weak: &std::sync::Weak<Shared>| {
             let w1 = weak.clone();
             let w2 = weak.clone();
@@ -119,6 +139,8 @@ impl JobService {
                 budget_in_use: AtomicU64::new(0),
                 admitting: AtomicU64::new(0),
                 running: Mutex::new(Vec::new()),
+                pressure,
+                breakers,
                 ids: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 config,
@@ -168,6 +190,23 @@ impl JobService {
         if shared.shutdown.load(Ordering::SeqCst) {
             self.reject(&core, AdmissionError::ShuttingDown);
             return handle;
+        }
+        match shared.breakers.decide(&core.spec.tenant, Instant::now()) {
+            BreakerDecision::Reject { retry_after } => {
+                self.reject(
+                    &core,
+                    AdmissionError::BreakerOpen {
+                        tenant: core.spec.tenant.clone(),
+                        retry_after,
+                    },
+                );
+                return handle;
+            }
+            BreakerDecision::Admit { probe } => {
+                if probe {
+                    core.probe.store(true, Ordering::SeqCst);
+                }
+            }
         }
         let mut queues = shared.queues.lock();
         if queues.len() >= shared.config.admission.max_queued_jobs {
@@ -228,6 +267,27 @@ impl JobService {
         self.shared.running.lock().len()
     }
 
+    /// The current smoothed overload-pressure snapshot.
+    pub fn pressure_signal(&self) -> PressureSignal {
+        self.shared.pressure.signal()
+    }
+
+    /// The state of `tenant`'s circuit breaker, or `None` before its
+    /// first submission (or with breakers disabled).
+    pub fn breaker_state(&self, tenant: &str) -> Option<BreakerState> {
+        self.shared.breakers.state_of(tenant)
+    }
+
+    /// How many times `tenant`'s breaker has tripped open.
+    pub fn breaker_opens(&self, tenant: &str) -> u64 {
+        self.shared.breakers.opens_of(tenant)
+    }
+
+    /// Submissions rejected by circuit breakers across all tenants.
+    pub fn breaker_rejections(&self) -> u64 {
+        self.shared.breakers.total_rejected()
+    }
+
     /// Block until no job is queued or running. New submissions during
     /// the wait extend it.
     pub fn wait_all(&self) {
@@ -257,6 +317,15 @@ impl Drop for JobService {
         if let Some(t) = self.dispatcher.take() {
             let _ = t.join();
         }
+        // Settlement hooks running on worker threads hold transient
+        // `Arc<Shared>` clones (dropped as each group exits). If one of
+        // those were the last reference, `Shared` — and the runtime
+        // inside it — would be torn down *on a worker thread*, which
+        // would then try to join itself. Wait the transients out so the
+        // final drop always happens here.
+        while Arc::strong_count(&self.shared) > 1 {
+            std::thread::yield_now();
+        }
         // Runtime drop then waits for any still-running tasks.
     }
 }
@@ -270,13 +339,18 @@ impl Drop for JobService {
 /// `Cancelled`, *not* `group.is_cancelled()` — fail-fast cancels the
 /// group internally on fault, and that must settle as `Failed`.
 fn settle(shared: &Shared, core: &Arc<JobCore>) {
+    let now = Instant::now();
     let fault = core.group.first_fault();
     let state = if core.timed_out.load(Ordering::SeqCst) {
         JobState::TimedOut
     } else if core.cancel_requested.load(Ordering::SeqCst) {
         JobState::Cancelled
     } else if fault.is_some() {
-        if try_requeue_for_retry(shared, core) {
+        // Every faulted attempt is a breaker failure, whether or not it
+        // earns a retry — backoff must not hide a flapping tenant.
+        let probe = core.probe.swap(false, Ordering::SeqCst);
+        shared.breakers.record(&core.spec.tenant, true, probe, now);
+        if try_requeue_for_retry(shared, core, now) {
             return; // not terminal: the job is queued for another attempt
         }
         JobState::Failed
@@ -286,10 +360,25 @@ fn settle(shared: &Shared, core: &Arc<JobCore>) {
     if !core.finish_quiet(state) {
         return; // someone else settled it first
     }
+    let probe = core.probe.swap(false, Ordering::SeqCst);
     match state {
-        JobState::Completed => shared.counters.completed.incr(),
+        JobState::Completed => {
+            shared.counters.completed.incr();
+            shared.breakers.record(&core.spec.tenant, false, probe, now);
+            if let Some(at) = *core.admitted_at.lock() {
+                // Admitted-to-finished time feeds the shed slack estimate.
+                shared
+                    .pressure
+                    .observe_service_time(now.saturating_duration_since(at));
+            }
+        }
+        // Cancellation says nothing about the tenant's health.
         JobState::Cancelled => shared.counters.cancelled.incr(),
-        JobState::TimedOut => shared.counters.timed_out.incr(),
+        JobState::TimedOut => {
+            shared.counters.timed_out.incr();
+            shared.breakers.record(&core.spec.tenant, true, probe, now);
+        }
+        // The fault branch above already recorded this failure.
         JobState::Failed => shared.counters.failed.incr(),
         _ => unreachable!("settle only produces terminal run states"),
     }
@@ -307,9 +396,9 @@ fn settle(shared: &Shared, core: &Arc<JobCore>) {
 /// If the faulted job's policy allows another attempt, reset its fault
 /// record, arm the backoff gate, and move it `Running → Queued` — budget
 /// released so other jobs can use it while the backoff elapses. Returns
-/// false when the job must fail instead (policy, attempts exhausted, or
-/// service shutdown).
-fn try_requeue_for_retry(shared: &Shared, core: &Arc<JobCore>) -> bool {
+/// false when the job must fail instead (policy, attempts exhausted,
+/// service shutdown, or the tenant's breaker is open).
+fn try_requeue_for_retry(shared: &Shared, core: &Arc<JobCore>, now: Instant) -> bool {
     let FailurePolicy::RetryWithBackoff {
         max_attempts,
         base,
@@ -322,9 +411,14 @@ fn try_requeue_for_retry(shared: &Shared, core: &Arc<JobCore>) -> bool {
     if attempt >= u64::from(max_attempts.max(1)) || shared.shutdown.load(Ordering::SeqCst) {
         return false;
     }
+    // An open breaker already cut this tenant off; its faulted jobs do
+    // not get to keep spending retry budget while it cools down.
+    if !shared.breakers.retry_allowed(&core.spec.tenant, now) {
+        return false;
+    }
     shared.counters.retried.incr();
     core.retried.fetch_add(1, Ordering::SeqCst);
-    *core.not_before.lock() = Some(Instant::now() + backoff_delay(base, cap, attempt));
+    *core.not_before.lock() = Some(now + backoff_delay(base, cap, attempt));
     core.group.reset_faults();
     core.set_state(JobState::Queued);
     shared.budget_in_use.fetch_sub(core.cost, Ordering::SeqCst);
@@ -345,6 +439,26 @@ fn try_requeue_for_retry(shared: &Shared, core: &Arc<JobCore>) -> bool {
 fn backoff_delay(base: Duration, cap: Duration, attempt: u64) -> Duration {
     let doublings = u32::try_from(attempt.saturating_sub(1).min(16)).expect("bounded by min(16)");
     base.saturating_mul(1u32 << doublings).min(cap)
+}
+
+/// Shed one queued job picked by the pressure controller: terminal
+/// `Rejected` with [`AdmissionError::Shed`], metered on the `shed`
+/// counter (not `rejected` — the two are disjoint so the conservation
+/// invariant `admitted + rejected + shed + … = submitted` stays exact).
+fn shed_job(shared: &Shared, core: &Arc<JobCore>, now: Instant) {
+    *core.rejection.lock() = Some(AdmissionError::Shed {
+        queued_for: now.saturating_duration_since(core.submitted_at),
+        deadline: core.spec.deadline,
+    });
+    if core.finish_if_queued(JobState::Rejected) {
+        shared.counters.shed.incr();
+        core.group.cancel();
+        core.notify_waiters();
+    } else {
+        // Lost the race to a concurrent cancel or admission between the
+        // pick and here; don't leave a stale reason behind.
+        *core.rejection.lock() = None;
+    }
 }
 
 fn dispatcher_loop(shared: Arc<Shared>) {
@@ -373,8 +487,23 @@ fn dispatcher_loop(shared: Arc<Shared>) {
             }
         }
 
-        // Deadlines: scan admitted jobs and queue heads.
+        // Pressure: feed the control loop the runtime's cumulative
+        // thread times and the queue state once per tick (rate-limited
+        // internally to `PressureConfig::sample_every`).
         let now = Instant::now();
+        {
+            let rc = shared.runtime.counters();
+            let queue_len = shared.queues.lock().len();
+            shared.pressure.sample(
+                now,
+                rc.func_ns.sum(),
+                rc.exec_ns.sum(),
+                queue_len,
+                shared.config.admission.max_queued_jobs,
+            );
+        }
+
+        // Deadlines: scan admitted jobs and queue heads.
         {
             // Collect first, cancel after dropping the lock: cancel()
             // can retire the group's last in-flight member, running the
@@ -399,7 +528,20 @@ fn dispatcher_loop(shared: Arc<Shared>) {
                 }
             }
         }
-        {
+        if shared.pressure.enabled() {
+            // Shedding subsumes the queued-deadline scan: a queued job
+            // whose sojourn (plus the estimated service time) has eaten
+            // its deadline is picked here, along with CoDel head drops
+            // under critical pressure.
+            let sheds = {
+                let queues = shared.queues.lock();
+                shared.pressure.select_sheds(now, queues.iter())
+            };
+            for core in sheds {
+                shed_job(&shared, &core, now);
+                // The queue entry is reaped as a terminal head later.
+            }
+        } else {
             let queues = shared.queues.lock();
             let expired: Vec<Arc<JobCore>> = queues
                 .iter()
@@ -425,7 +567,9 @@ fn dispatcher_loop(shared: Arc<Shared>) {
         // Admission: drain as many fair-share picks as the budget allows.
         if !shutting_down {
             loop {
-                let max = shared.config.admission.max_in_flight_tasks;
+                // The adaptive limit: the configured maximum when the
+                // pressure loop is disabled or calm, shrunk under load.
+                let max = shared.pressure.budget_limit();
                 let now = Instant::now();
                 let candidate = {
                     let mut queues = shared.queues.lock();
@@ -478,6 +622,11 @@ fn admit(shared: &Arc<Shared>, core: Arc<JobCore>) {
     shared.budget_in_use.fetch_add(core.cost, Ordering::SeqCst);
     *core.admitted_at.lock() = Some(now);
     *core.not_before.lock() = None;
+    if let Some(deadline) = core.spec.deadline {
+        // Deadline propagation: the group sees the job's remaining
+        // budget, and workers skip members at dispatch once it is gone.
+        core.group.set_budget_deadline(core.submitted_at + deadline);
+    }
     let attempt = core.attempts.fetch_add(1, Ordering::SeqCst) + 1;
     if attempt == 1 {
         shared

@@ -3,7 +3,7 @@
 
 use grain_counters::sync::Mutex;
 use grain_service::{
-    AdmissionConfig, AdmissionError, JobService, JobSpec, JobState, ServiceConfig,
+    AdmissionConfig, AdmissionError, JobService, JobSpec, JobState, RejectReason, ServiceConfig,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -92,16 +92,10 @@ fn deadline_expiry_times_a_running_job_out() {
     );
 }
 
-#[test]
-fn deadline_expiry_reaps_a_job_stuck_in_the_queue() {
-    // Budget of 1 task: the blocker occupies it, the victim waits.
-    let config = ServiceConfig {
-        admission: AdmissionConfig {
-            max_in_flight_tasks: 1,
-            ..AdmissionConfig::default()
-        },
-        ..single_worker_config()
-    };
+/// Submit a blocker that pins the single-task budget, then a victim
+/// with a short deadline that expires while queued. Returns the
+/// victim's outcome with the blocker released and completed.
+fn queued_deadline_expiry(config: ServiceConfig) -> grain_service::JobOutcome {
     let service = JobService::new(config);
     let release = Arc::new(AtomicBool::new(false));
 
@@ -119,12 +113,47 @@ fn deadline_expiry_reaps_a_job_stuck_in_the_queue() {
         JobSpec::new("victim", "tenant-a").deadline(Duration::from_millis(20)),
         |_| unreachable!("expires while queued; the body must never run"),
     );
+    // Release the blocker before asserting anything: a failed assert
+    // must not leave it spinning through the service's drop.
     let outcome = victim.wait();
-    assert_eq!(outcome.state, JobState::TimedOut);
-    assert_eq!(outcome.tasks_spawned, 0, "never admitted, never ran");
-
     release.store(true, Ordering::SeqCst);
     assert_eq!(blocker.wait().state, JobState::Completed);
+    assert_eq!(outcome.tasks_spawned, 0, "never admitted, never ran");
+    outcome
+}
+
+/// Budget of 1 task: the blocker occupies it, the victim waits past its
+/// deadline. With the pressure loop on (the default), the shedder drops
+/// it as `Rejected` with a `Shed` reason — not `TimedOut`.
+#[test]
+fn deadline_expiry_sheds_a_job_stuck_in_the_queue() {
+    let config = ServiceConfig {
+        admission: AdmissionConfig {
+            max_in_flight_tasks: 1,
+            ..AdmissionConfig::default()
+        },
+        ..single_worker_config()
+    };
+    let outcome = queued_deadline_expiry(config);
+    assert_eq!(outcome.state, JobState::Rejected);
+    assert_eq!(outcome.reject_reason, Some(RejectReason::Shed));
+}
+
+/// The same expiry with the pressure loop disabled keeps the legacy
+/// behavior: the dispatcher's deadline scan ends the job as `TimedOut`.
+#[test]
+fn deadline_expiry_times_out_a_queued_job_with_shedding_disabled() {
+    let mut config = ServiceConfig {
+        admission: AdmissionConfig {
+            max_in_flight_tasks: 1,
+            ..AdmissionConfig::default()
+        },
+        ..single_worker_config()
+    };
+    config.pressure.enabled = false;
+    let outcome = queued_deadline_expiry(config);
+    assert_eq!(outcome.state, JobState::TimedOut);
+    assert_eq!(outcome.reject_reason, None);
 }
 
 #[test]
@@ -452,4 +481,35 @@ fn concurrent_jobs_share_the_runtime_without_interference() {
             .as_count(),
         9
     );
+}
+
+#[test]
+fn dropping_the_service_mid_flight_tears_down_on_the_dropping_thread() {
+    // Settlement hooks on worker threads hold transient Arc clones of
+    // the service internals. Dropping the service while jobs are still
+    // settling used to race: a worker could end up owning the last
+    // reference, drop the runtime from inside itself, and self-join
+    // (EDEADLK). Drop now waits the transients out; a batch of quick
+    // jobs dropped mid-flight must tear down cleanly every time.
+    for round in 0..8 {
+        let service = JobService::new(ServiceConfig {
+            poll_interval: Duration::from_micros(200),
+            ..ServiceConfig::with_workers(2)
+        });
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                service.submit(
+                    JobSpec::new(format!("flash-{round}-{i}"), "tenant-a"),
+                    |ctx| {
+                        for _ in 0..4 {
+                            ctx.spawn(|_| std::hint::black_box(()));
+                        }
+                    },
+                )
+            })
+            .collect();
+        // Drop with jobs in every stage: queued, running, settling.
+        drop(service);
+        drop(handles);
+    }
 }

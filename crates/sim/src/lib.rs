@@ -47,9 +47,11 @@ pub mod engine;
 pub mod machine;
 pub mod report;
 pub mod rng;
+pub mod storm;
 pub mod workload;
 
 pub use engine::{simulate, SimConfig};
 pub use machine::MachineModel;
 pub use report::SimReport;
+pub use storm::{StormEvent, StormPlan, TenantStorm};
 pub use workload::{SimTaskSpec, SimWorkload};

@@ -1,0 +1,263 @@
+//! Seeded overload-and-fault storms for the chaos-soak harness.
+//!
+//! A [`StormPlan`] is a deterministic, pre-generated schedule of job
+//! submissions across tenants: Poisson arrivals (exponential
+//! inter-arrival draws from one [`Pcg32`](crate::rng::Pcg32) stream per
+//! tenant), per-job task counts and grain sizes drawn from each tenant's
+//! profile, and per-tenant *fault windows* — fractions of the horizon
+//! during which that tenant's jobs panic. Equal seeds yield equal plans,
+//! so a soak run (`soak --virtual-seconds 30 --seed 7`) replays the
+//! exact same storm every time and its invariant checks are meaningful
+//! across runs and machines.
+//!
+//! The plan knows nothing about the service: it is a pure description
+//! (who submits what, when, and whether it faults). The soak binary in
+//! `grain-bench` turns events into real [`grain-service`] submissions on
+//! a scaled-down real-time clock.
+
+use crate::rng::Pcg32;
+use std::time::Duration;
+
+/// One tenant's storm profile: its arrival process, job shape, and
+/// (optionally) the window during which its jobs fault.
+#[derive(Debug, Clone)]
+pub struct TenantStorm {
+    /// Tenant name, as submitted to the service.
+    pub tenant: String,
+    /// Mean of the exponential inter-arrival distribution.
+    pub mean_interarrival: Duration,
+    /// Inclusive range of tasks per job.
+    pub tasks: (u64, u64),
+    /// Inclusive range of per-task grain (virtual busy time).
+    pub grain: (Duration, Duration),
+    /// Deadline attached to every job of this tenant, if any.
+    pub deadline: Option<Duration>,
+    /// Fraction of the horizon `[start, end)` (both in `0.0..=1.0`)
+    /// during which this tenant's jobs panic instead of working.
+    pub fault_window: Option<(f64, f64)>,
+}
+
+impl TenantStorm {
+    /// A well-behaved tenant: steady arrivals, no faults.
+    pub fn steady(
+        tenant: &str,
+        mean_interarrival: Duration,
+        tasks: (u64, u64),
+        grain: (Duration, Duration),
+    ) -> Self {
+        Self {
+            tenant: tenant.to_owned(),
+            mean_interarrival,
+            tasks,
+            grain,
+            deadline: None,
+            fault_window: None,
+        }
+    }
+
+    /// Attach a per-job deadline.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Make jobs submitted inside `[start, end)` of the horizon panic.
+    pub fn faulting_during(mut self, start: f64, end: f64) -> Self {
+        self.fault_window = Some((start, end));
+        self
+    }
+}
+
+/// One planned submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StormEvent {
+    /// Offset from the storm start (virtual time).
+    pub at: Duration,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Unique job name (`<tenant>-<n>`).
+    pub name: String,
+    /// Tasks the job spawns (beyond its root).
+    pub tasks: u64,
+    /// Busy time per task.
+    pub grain: Duration,
+    /// Deadline relative to submission, if the tenant has one.
+    pub deadline: Option<Duration>,
+    /// Whether this job panics instead of completing its work.
+    pub faulty: bool,
+}
+
+/// A full, deterministic storm: every event of every tenant, merged and
+/// sorted by submission time.
+#[derive(Debug, Clone)]
+pub struct StormPlan {
+    /// All events, sorted by `at` (ties broken by tenant then name, so
+    /// the order is total and seed-stable).
+    pub events: Vec<StormEvent>,
+    /// The horizon the plan covers.
+    pub horizon: Duration,
+}
+
+impl StormPlan {
+    /// Generate the plan for `tenants` over `horizon` from `seed`.
+    ///
+    /// Each tenant draws from its own PCG stream (seeded from `seed`
+    /// and the tenant's index), so adding a tenant to the list never
+    /// perturbs the arrivals of the tenants before it.
+    pub fn generate(seed: u64, horizon: Duration, tenants: &[TenantStorm]) -> Self {
+        let mut events = Vec::new();
+        for (idx, t) in tenants.iter().enumerate() {
+            let mut rng = Pcg32::seed_from_u64(
+                seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(idx as u64 + 1)),
+            );
+            let mean_s = t.mean_interarrival.as_secs_f64().max(1e-9);
+            let mut at_s = 0.0f64;
+            let mut n = 0u64;
+            loop {
+                // Exponential inter-arrival: -mean · ln(1 − u).
+                let u = rng.next_f64();
+                at_s += -mean_s * (1.0 - u).ln();
+                if at_s >= horizon.as_secs_f64() {
+                    break;
+                }
+                let at = Duration::from_secs_f64(at_s);
+                let tasks = t.tasks.0 + rng.range_u64(t.tasks.1 - t.tasks.0 + 1);
+                let grain_ns = {
+                    let lo = t.grain.0.as_nanos() as u64;
+                    let hi = t.grain.1.as_nanos() as u64;
+                    if hi > lo {
+                        lo + rng.range_u64(hi - lo + 1)
+                    } else {
+                        lo
+                    }
+                };
+                let frac = at_s / horizon.as_secs_f64();
+                let faulty = t.fault_window.is_some_and(|(s, e)| frac >= s && frac < e);
+                events.push(StormEvent {
+                    at,
+                    tenant: t.tenant.clone(),
+                    name: format!("{}-{n}", t.tenant),
+                    tasks,
+                    grain: Duration::from_nanos(grain_ns),
+                    deadline: t.deadline,
+                    faulty,
+                });
+                n += 1;
+            }
+        }
+        events.sort_by(|a, b| {
+            a.at.cmp(&b.at)
+                .then_with(|| a.tenant.cmp(&b.tenant))
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        Self { events, horizon }
+    }
+
+    /// Events belonging to `tenant`, in submission order.
+    pub fn of_tenant<'a>(&'a self, tenant: &'a str) -> impl Iterator<Item = &'a StormEvent> {
+        self.events.iter().filter(move |e| e.tenant == tenant)
+    }
+
+    /// Count of faulty events across all tenants.
+    pub fn faulty_count(&self) -> usize {
+        self.events.iter().filter(|e| e.faulty).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_tenants() -> Vec<TenantStorm> {
+        vec![
+            TenantStorm::steady(
+                "alpha",
+                Duration::from_millis(50),
+                (2, 8),
+                (Duration::from_micros(100), Duration::from_micros(400)),
+            )
+            .deadline(Duration::from_millis(200)),
+            TenantStorm::steady(
+                "beta",
+                Duration::from_millis(80),
+                (4, 16),
+                (Duration::from_micros(200), Duration::from_micros(800)),
+            ),
+            TenantStorm::steady(
+                "chaos",
+                Duration::from_millis(25),
+                (1, 4),
+                (Duration::from_micros(50), Duration::from_micros(100)),
+            )
+            .faulting_during(0.0, 0.6),
+        ]
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = StormPlan::generate(7, Duration::from_secs(5), &three_tenants());
+        let b = StormPlan::generate(7, Duration::from_secs(5), &three_tenants());
+        assert_eq!(a.events, b.events);
+        assert!(!a.events.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = StormPlan::generate(7, Duration::from_secs(5), &three_tenants());
+        let b = StormPlan::generate(8, Duration::from_secs(5), &three_tenants());
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn events_are_sorted_and_within_horizon() {
+        let plan = StormPlan::generate(42, Duration::from_secs(3), &three_tenants());
+        for w in plan.events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for e in &plan.events {
+            assert!(e.at < plan.horizon);
+        }
+    }
+
+    #[test]
+    fn fault_window_bounds_faulty_events() {
+        let plan = StormPlan::generate(3, Duration::from_secs(5), &three_tenants());
+        let horizon = plan.horizon.as_secs_f64();
+        for e in plan.events.iter() {
+            let frac = e.at.as_secs_f64() / horizon;
+            match e.tenant.as_str() {
+                "chaos" => assert_eq!(e.faulty, (0.0..0.6).contains(&frac)),
+                _ => assert!(!e.faulty),
+            }
+        }
+        assert!(plan.faulty_count() > 0, "chaos must fault in its window");
+        assert!(
+            plan.of_tenant("chaos").any(|e| !e.faulty),
+            "chaos must recover after its window"
+        );
+    }
+
+    #[test]
+    fn adding_a_tenant_preserves_earlier_streams() {
+        let two = &three_tenants()[..2];
+        let a = StormPlan::generate(11, Duration::from_secs(4), two);
+        let b = StormPlan::generate(11, Duration::from_secs(4), &three_tenants());
+        let alpha_a: Vec<_> = a.of_tenant("alpha").cloned().collect();
+        let alpha_b: Vec<_> = b.of_tenant("alpha").cloned().collect();
+        assert_eq!(alpha_a, alpha_b);
+    }
+
+    #[test]
+    fn job_shapes_respect_profile_ranges() {
+        let plan = StormPlan::generate(9, Duration::from_secs(5), &three_tenants());
+        for e in plan.of_tenant("alpha") {
+            assert!((2..=8).contains(&e.tasks));
+            assert!(e.grain >= Duration::from_micros(100));
+            assert!(e.grain <= Duration::from_micros(400));
+            assert_eq!(e.deadline, Some(Duration::from_millis(200)));
+        }
+        for e in plan.of_tenant("beta") {
+            assert_eq!(e.deadline, None);
+        }
+    }
+}

@@ -24,12 +24,22 @@ echo "==> cargo test (fault-inject)"
 # replay tests with the feature on.
 cargo test -p grain-runtime --features fault-inject --offline -q
 
+echo "==> chaos soak (bounded)"
+# Replay one seeded multi-tenant storm (2x oversubmission, a panicking
+# tenant) with the resilience layer off and on, and assert the ledger
+# conservation / budget-restoration / breaker-recovery invariants. The
+# virtual horizon is scaled down to real time, so this stays bounded
+# (tens of seconds) while covering 30 virtual seconds of load.
+cargo run --release -p grain-bench --bin soak --offline -- \
+    --virtual-seconds 30 --seed 7
+
 echo "==> unwrap-free hot paths"
-# The worker dispatch loop and the service dispatcher must not use
-# unwrap(): a poisoned-lock or bad-option unwrap there takes down a
-# worker or wedges every tenant. Enforced by clippy at deny level;
-# assert the attributes stay in place.
-for f in crates/runtime/src/worker.rs crates/service/src/service.rs; do
+# The worker dispatch loop, the service dispatcher, and the overload
+# path (admission + pressure) must not use unwrap(): a poisoned-lock or
+# bad-option unwrap there takes down a worker or wedges every tenant.
+# Enforced by clippy at deny level; assert the attributes stay in place.
+for f in crates/runtime/src/worker.rs crates/service/src/service.rs \
+    crates/service/src/admission.rs crates/service/src/pressure.rs; do
     grep -q 'deny(clippy::unwrap_used)' "$f" || {
         echo "missing #![deny(clippy::unwrap_used)] in $f" >&2
         exit 1

@@ -311,6 +311,136 @@ fn random_dags_execute_correctly_on_both_engines() {
     }
 }
 
+/// Under any seeded overload storm the job ledger conserves —
+/// `admitted + rejected + shed (+ queued timeouts) == submitted` — and
+/// the in-flight task budget is exactly restored at quiescence. Runs
+/// both with the resilience layer on (queued expiries become sheds) and
+/// off (queued expiries become timeouts); the ledger must balance
+/// either way.
+#[test]
+fn storms_conserve_job_accounting_and_restore_the_budget() {
+    use grain::service::{
+        AdmissionConfig, FailurePolicy, JobService, JobSpec, JobState, ServiceConfig,
+    };
+    use grain::sim::{StormPlan, TenantStorm};
+    use std::time::{Duration, Instant};
+
+    // 10 ms of real time per virtual second keeps the sweep quick.
+    const SCALE: f64 = 0.01;
+    let mut seeds = Pcg32::seed_from_u64(0x570B);
+    for case in 0..4 {
+        let seed = seeds.next_u64();
+        let resilience = case % 2 == 0;
+        let tenants = vec![
+            TenantStorm::steady(
+                "alpha",
+                Duration::from_millis(40),
+                (1, 6),
+                (Duration::from_millis(5), Duration::from_millis(20)),
+            )
+            .deadline(Duration::from_secs(1)),
+            TenantStorm::steady(
+                "beta",
+                Duration::from_millis(60),
+                (2, 8),
+                (Duration::from_millis(10), Duration::from_millis(30)),
+            ),
+            TenantStorm::steady(
+                "chaos",
+                Duration::from_millis(20),
+                (1, 3),
+                (Duration::from_millis(5), Duration::from_millis(10)),
+            )
+            .faulting_during(0.0, 0.5),
+        ];
+        let plan = StormPlan::generate(seed, Duration::from_secs(2), &tenants);
+        let mut config = ServiceConfig {
+            admission: AdmissionConfig {
+                max_in_flight_tasks: 8,
+                max_queued_jobs: 16,
+                ..AdmissionConfig::default()
+            },
+            poll_interval: Duration::from_micros(200),
+            ..ServiceConfig::with_workers(2)
+        };
+        config.pressure.enabled = resilience;
+        config.breaker.enabled = resilience;
+        config.breaker.min_samples = 4;
+        config.breaker.open_for = Duration::from_millis(20);
+        let service = JobService::new(config);
+
+        let started = Instant::now();
+        let handles: Vec<_> = plan
+            .events
+            .iter()
+            .map(|e| {
+                if let Some(sleep) = e.at.mul_f64(SCALE).checked_sub(started.elapsed()) {
+                    std::thread::sleep(sleep);
+                }
+                let mut spec = JobSpec::new(e.name.clone(), e.tenant.clone());
+                if let Some(d) = e.deadline {
+                    spec = spec.deadline(d.mul_f64(SCALE));
+                }
+                if e.faulty {
+                    spec = spec.failure_policy(FailurePolicy::RetryWithBackoff {
+                        max_attempts: 2,
+                        base: Duration::from_micros(200),
+                        cap: Duration::from_millis(1),
+                    });
+                }
+                let (faulty, tasks, grain) = (e.faulty, e.tasks, e.grain.mul_f64(SCALE));
+                service.submit(spec, move |ctx| {
+                    if faulty {
+                        panic!("storm fault");
+                    }
+                    for _ in 0..tasks {
+                        ctx.spawn(move |_| {
+                            let t0 = Instant::now();
+                            while t0.elapsed() < grain {
+                                std::hint::spin_loop();
+                            }
+                        });
+                    }
+                })
+            })
+            .collect();
+        service.wait_all();
+
+        let ctx = format!("case {case}: seed {seed:#x} resilience={resilience}");
+        // A job that times out while still queued was never admitted and
+        // occupies its own ledger column (only reachable with the
+        // pressure layer off; on, the dispatcher sheds it instead).
+        let mut queued_timeouts = 0u64;
+        for (i, h) in handles.iter().enumerate() {
+            let o = h.wait();
+            assert!(o.state.is_terminal(), "{ctx}: job {i} not terminal");
+            if o.state == JobState::TimedOut && o.tasks_spawned == 0 {
+                queued_timeouts += 1;
+            }
+        }
+        let c = service.counters();
+        assert_eq!(c.submitted.get(), handles.len() as u64, "{ctx}");
+        assert_eq!(
+            c.admitted.get() + c.rejected.get() + c.shed.get() + queued_timeouts,
+            c.submitted.get(),
+            "{ctx}: admitted {} + rejected {} + shed {} + queued timeouts \
+             {queued_timeouts} must equal submitted {}",
+            c.admitted.get(),
+            c.rejected.get(),
+            c.shed.get(),
+            c.submitted.get()
+        );
+        assert_eq!(service.queue_len(), 0, "{ctx}: queue not drained");
+        assert_eq!(service.running_len(), 0, "{ctx}: running set not drained");
+        let in_use = service
+            .registry()
+            .query("/service/tasks/budget-in-use")
+            .expect("registered")
+            .value;
+        assert_eq!(in_use, 0.0, "{ctx}: in-flight budget not restored");
+    }
+}
+
 /// parallel_reduce equals the sequential fold for any range/grain.
 #[test]
 fn parallel_reduce_matches_sequential() {
