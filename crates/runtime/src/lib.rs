@@ -73,7 +73,7 @@ pub use grain_counters::threads::ThreadCounters;
 pub use grain_counters::{FaultAction, FaultPlan};
 pub use group::{CancelToken, TaskGroup};
 pub use runtime::{Runtime, RuntimeConfig, TaskContext};
-pub use scheduler::{Provenance, Scheduler, SchedulerKind};
+pub use scheduler::{Provenance, Scheduler, SchedulerKind, SearchStep};
 pub use task::{Poll, Priority, TaskId, TaskState};
 pub use trace::{Trace, TraceEvent, TraceEventKind};
 

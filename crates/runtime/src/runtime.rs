@@ -72,10 +72,21 @@ impl RuntimeConfig {
     }
 }
 
+/// Eventcount-style parking spot.
+///
+/// `generation` closes the classic lost-wakeup window between a worker's
+/// final empty work search and its decision to sleep: a worker snapshots
+/// the generation *before* searching ([`Inner::park_ticket`]); every
+/// [`Inner::wake`] bumps it (whether or not anyone is asleep yet). At
+/// park time a stale ticket proves work may have arrived after the search
+/// started, so the worker aborts the park and searches again — checked
+/// both before and after taking the lock, so a wake that lands between
+/// "announce sleep" and "actually wait" can never be missed.
 struct Parker {
     lock: Mutex<()>,
     cv: Condvar,
     sleepers: AtomicUsize,
+    generation: AtomicUsize,
 }
 
 struct IdleGate {
@@ -357,25 +368,61 @@ impl Inner {
         self.wake();
     }
 
-    /// Wake sleeping workers if any.
+    /// Snapshot the wake generation. Taken at the top of a worker-loop
+    /// iteration, *before* the work search, so any spawn/resume/shutdown
+    /// that lands during or after the search invalidates the ticket and
+    /// turns the subsequent [`park`](Self::park) into a no-op re-probe.
+    pub(crate) fn park_ticket(&self) -> usize {
+        self.parker.generation.load(Ordering::SeqCst)
+    }
+
+    /// Wake sleeping workers. Always advances the generation first so a
+    /// worker between its final empty search and its park observes the
+    /// event through its stale ticket even though it is not asleep yet.
     pub(crate) fn wake(&self) {
+        self.parker.generation.fetch_add(1, Ordering::SeqCst);
         if self.parker.sleepers.load(Ordering::SeqCst) > 0 {
             let _g = self.parker.lock.lock();
             self.parker.cv.notify_all();
         }
     }
 
-    /// Park the calling worker until woken or timed out. Returns quickly
-    /// if work appeared or shutdown began in the meantime.
-    pub(crate) fn park(&self) {
+    /// Park the calling worker until woken or timed out — but only if no
+    /// wake happened since `ticket` was taken, the queues still look
+    /// empty, and shutdown has not begun.
+    pub(crate) fn park(&self, ticket: usize) {
+        self.park_if(ticket, || self.scheduler.queues.total_len() == 0)
+    }
+
+    /// Park a *throttled* worker: same protocol, but queued work does not
+    /// keep it awake (it must not take any) — only a wake (generation
+    /// bump, e.g. from [`Runtime::set_active_workers`] or shutdown) or
+    /// the timeout gets it back up to re-check the throttle limit.
+    pub(crate) fn park_throttled(&self, ticket: usize) {
+        self.park_if(ticket, || true)
+    }
+
+    fn park_if(&self, ticket: usize, quiet: impl Fn() -> bool) {
         self.parker.sleepers.fetch_add(1, Ordering::SeqCst);
-        // Re-check after announcing sleep to close the lost-wakeup window.
-        if self.scheduler.queues.total_len() > 0 || self.shutdown.load(Ordering::SeqCst) {
+        // Re-check after announcing sleep: a stale ticket means a wake
+        // fired after our search started — the work it signalled may be
+        // work we already failed to find, so re-search instead of
+        // sleeping on it.
+        if self.parker.generation.load(Ordering::SeqCst) != ticket
+            || !quiet()
+            || self.shutdown.load(Ordering::SeqCst)
+        {
             self.parker.sleepers.fetch_sub(1, Ordering::SeqCst);
             return;
         }
         let mut g = self.parker.lock.lock();
-        self.parker.cv.wait_for(&mut g, self.config.park_timeout);
+        // Final check under the lock: `wake` bumps the generation before
+        // taking this lock to notify, so a bump observed here happened
+        // strictly before our wait — and one we don't observe will take
+        // the lock after us and its notify_all reaches our wait.
+        if self.parker.generation.load(Ordering::SeqCst) == ticket {
+            self.parker.cv.wait_for(&mut g, self.config.park_timeout);
+        }
         drop(g);
         self.parker.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
@@ -740,6 +787,28 @@ impl Runtime {
                 )
                 .expect("fresh registry");
         }
+        // Queue-contention counters: aggregated over every queue in the
+        // set (see `queue::QueueStats`). Lost head/tail CAS races and
+        // segment allocations are the lock-free queue's analogue of lock
+        // contention — flat curves here under fine grain are exactly what
+        // the mutex queue could not deliver.
+        {
+            use grain_counters::registry::RawView;
+            let stats = scheduler.queues.stats();
+            let t = "locality#0/total";
+            registry
+                .register(
+                    &format!("/threads{{{t}}}/queue/cas-retries"),
+                    RawView::new(Arc::clone(&stats.cas_retries), Unit::Count),
+                )
+                .expect("fresh registry");
+            registry
+                .register(
+                    &format!("/threads{{{t}}}/queue/segment-allocations"),
+                    RawView::new(Arc::clone(&stats.segment_allocs), Unit::Count),
+                )
+                .expect("fresh registry");
+        }
         let watchdog = WatchdogCounters {
             checks: Arc::new(RawCounter::new()),
             stalls: Arc::new(RawCounter::new()),
@@ -778,6 +847,7 @@ impl Runtime {
                 lock: Mutex::new(()),
                 cv: Condvar::new(),
                 sleepers: AtomicUsize::new(0),
+                generation: AtomicUsize::new(0),
             },
             idle: IdleGate {
                 lock: Mutex::new(()),
@@ -787,6 +857,7 @@ impl Runtime {
                 lock: Mutex::new(()),
                 cv: Condvar::new(),
                 sleepers: AtomicUsize::new(0),
+                generation: AtomicUsize::new(0),
             },
         });
         let threads = (0..config.workers)

@@ -16,11 +16,21 @@
 //!   6. pending queues in remote NUMA domains
 //!
 //! Every probe bumps the access counter of the probed queue family and the
-//! miss counter when it comes back empty — those are the
+//! miss counter when it comes back empty — including low-priority probes,
+//! which count against the staged family (the low queue holds staged
+//! descriptions) — those are the
 //! `/threads/count/pending-accesses`/`-misses` counters of §II-A, shown in
 //! Figs. 9 and 10 to be a timestamp-free granularity signal.
+//!
+//! Steal accounting happens at **dispatch** time, keyed off the
+//! provenance that survives the conversion round-trip (a converted task
+//! carries its origin on [`Task::origin`]): a staged steal that is
+//! converted, parked in the converter's pending queue, and then raided by
+//! a third worker counts as exactly one steal — the raid — not two.
 
-use crate::queue::MpmcQueue;
+#![deny(clippy::unwrap_used)]
+
+use crate::queue::{MpmcQueue, QueueStats};
 use crate::task::{StagedTask, Task};
 use grain_counters::threads::ThreadCounters;
 use grain_topology::NumaTopology;
@@ -51,10 +61,10 @@ pub struct DualQueue {
 }
 
 impl DualQueue {
-    fn new() -> Self {
+    fn new(stats: &std::sync::Arc<QueueStats>) -> Self {
         Self {
-            staged: MpmcQueue::new(),
-            pending: MpmcQueue::new(),
+            staged: MpmcQueue::with_stats(std::sync::Arc::clone(stats)),
+            pending: MpmcQueue::with_stats(std::sync::Arc::clone(stats)),
         }
     }
 
@@ -82,6 +92,8 @@ pub struct QueueSet {
     rr: AtomicUsize,
     /// Round-robin cursor for high-priority spawns.
     rr_high: AtomicUsize,
+    /// Contention statistics shared by every queue in the set.
+    stats: std::sync::Arc<QueueStats>,
 }
 
 impl QueueSet {
@@ -89,13 +101,23 @@ impl QueueSet {
     /// dual queues (≥ 1).
     pub fn new(workers: usize, high_queues: usize) -> Self {
         assert!(workers > 0);
+        let stats = std::sync::Arc::new(QueueStats::default());
         Self {
-            workers: (0..workers).map(|_| DualQueue::new()).collect(),
-            high: (0..high_queues.max(1)).map(|_| DualQueue::new()).collect(),
-            low: MpmcQueue::new(),
+            workers: (0..workers).map(|_| DualQueue::new(&stats)).collect(),
+            high: (0..high_queues.max(1))
+                .map(|_| DualQueue::new(&stats))
+                .collect(),
+            low: MpmcQueue::with_stats(std::sync::Arc::clone(&stats)),
             rr: AtomicUsize::new(0),
             rr_high: AtomicUsize::new(0),
+            stats,
         }
+    }
+
+    /// The contention statistics (CAS retries, segment allocations)
+    /// aggregated over every queue in the set.
+    pub fn stats(&self) -> &std::sync::Arc<QueueStats> {
+        &self.stats
     }
 
     /// Enqueue a normal-priority staged task on `worker`'s queue.
@@ -168,6 +190,22 @@ pub enum Provenance {
     LowPriority,
 }
 
+/// Outcome of a single pass of the Fig. 1 search
+/// ([`Scheduler::search_step`]).
+#[derive(Debug)]
+pub enum SearchStep {
+    /// A runnable task is being handed to the worker, with the provenance
+    /// of the queue it was actually dispatched from.
+    Dispatched(Task, Provenance),
+    /// A staged description was converted and parked in a pending queue;
+    /// the caller should search again (the converted task is normally
+    /// picked up by step 1 of the next pass — unless someone else got
+    /// there first, which is legal).
+    Converted,
+    /// Every probed queue was empty this pass.
+    Empty,
+}
+
 impl Provenance {
     /// True if this required taking work from another worker's queue.
     pub fn is_steal(&self) -> bool {
@@ -197,118 +235,159 @@ impl Scheduler {
     /// probed queue was empty. Counter updates (accesses/misses/converted/
     /// stolen) are recorded against worker `w` in `counters`.
     ///
+    /// This simply loops [`Scheduler::search_step`] until a pass either
+    /// dispatches a task or comes up empty.
+    pub fn find_work(&self, w: usize, counters: &ThreadCounters) -> Option<(Task, Provenance)> {
+        loop {
+            match self.search_step(w, counters) {
+                SearchStep::Dispatched(t, prov) => return Some((t, prov)),
+                SearchStep::Converted => continue,
+                SearchStep::Empty => return None,
+            }
+        }
+    }
+
+    /// A single pass of the Fig. 1 search for worker `w`.
+    ///
     /// Conversion follows the HPX dual-queue flow: a staged description is
     /// converted and *placed in a pending queue* (the worker's own one for
     /// normal/low priority, the same high-priority queue for high
-    /// priority), and the search restarts — the converted task is then
-    /// normally dispatched from the pending queue on the next pass. A
-    /// provenance note survives the round trip so dispatch reports where
-    /// the task actually came from.
-    pub fn find_work(&self, w: usize, counters: &ThreadCounters) -> Option<(Task, Provenance)> {
-        let mut converted_from: Option<(crate::task::TaskId, Provenance)> = None;
-        'search: loop {
-            // High-priority queues always come first: own-indexed one,
-            // then the rest (pending before staged inside each).
-            let nh = self.queues.high.len();
-            for off in 0..nh {
-                let q = &self.queues.high[(w + off) % nh];
-                if let Some(t) = self.pop_pending(q, w, counters) {
-                    return Some((t, Provenance::HighPriority));
-                }
-                if let Some(t) = self.pop_staged(q, w, counters) {
-                    q.pending.push(t);
-                    continue 'search;
-                }
+    /// priority), and the pass ends with [`SearchStep::Converted`] — the
+    /// converted task is normally dispatched from the pending queue on
+    /// the caller's next pass. The provenance note rides on
+    /// [`Task::origin`] (not on this frame's stack) because between
+    /// conversion and re-dispatch the pending queue is live: a third
+    /// worker may legitimately raid it, in which case the raider discards
+    /// the note and reports (and is charged for) the pending steal it
+    /// actually performed.
+    ///
+    /// `counters.stolen` is bumped only here, at dispatch, keyed off the
+    /// final provenance — so one task stolen while staged and again while
+    /// pending charges exactly one steal, to the worker that got it.
+    ///
+    /// Exposed (not just `find_work`) so tests can freeze the search
+    /// mid-conversion and exercise the round-trip races deterministically.
+    pub fn search_step(&self, w: usize, counters: &ThreadCounters) -> SearchStep {
+        // High-priority queues always come first: own-indexed one,
+        // then the rest (pending before staged inside each).
+        let nh = self.queues.high.len();
+        for off in 0..nh {
+            let q = &self.queues.high[(w + off) % nh];
+            if let Some(mut t) = self.pop_pending(q, w, counters) {
+                t.origin = None;
+                return Self::dispatch(t, Provenance::HighPriority, w, counters);
             }
-
-            // 1. Local pending.
-            let own = &self.queues.workers[w];
-            if let Some(t) = self.pop_pending(own, w, counters) {
-                let prov = match converted_from.take() {
-                    Some((id, p)) if id == t.id => p,
-                    _ => Provenance::LocalPending,
-                };
-                return Some((t, prov));
+            if let Some(t) = self.pop_staged(q, w, counters, None) {
+                q.pending.push(t);
+                return SearchStep::Converted;
             }
-            // 2. Local staged (convert → own pending → redo the search).
-            if let Some(t) = self.pop_staged(own, w, counters) {
-                converted_from = Some((t.id, Provenance::LocalStaged));
-                self.queues.push_pending(w, t);
-                continue 'search;
-            }
-
-            match self.kind {
-                SchedulerKind::NoSteal => {}
-                SchedulerKind::PriorityLocalFifo => {
-                    // 3. Same-NUMA staged.
-                    for p in self.numa.same_domain_peers(w) {
-                        if let Some(t) = self.pop_staged(&self.queues.workers[p], w, counters) {
-                            counters.stolen.incr(w);
-                            converted_from = Some((t.id, Provenance::NumaStaged(p)));
-                            self.queues.push_pending(w, t);
-                            continue 'search;
-                        }
-                    }
-                    // 4. Same-NUMA pending.
-                    for p in self.numa.same_domain_peers(w) {
-                        if let Some(t) = self.pop_pending(&self.queues.workers[p], w, counters) {
-                            counters.stolen.incr(w);
-                            return Some((t, Provenance::NumaPending(p)));
-                        }
-                    }
-                    // 5. Remote-NUMA staged.
-                    for p in self.numa.remote_domain_peers(w) {
-                        if let Some(t) = self.pop_staged(&self.queues.workers[p], w, counters) {
-                            counters.stolen.incr(w);
-                            converted_from = Some((t.id, Provenance::RemoteStaged(p)));
-                            self.queues.push_pending(w, t);
-                            continue 'search;
-                        }
-                    }
-                    // 6. Remote-NUMA pending.
-                    for p in self.numa.remote_domain_peers(w) {
-                        if let Some(t) = self.pop_pending(&self.queues.workers[p], w, counters) {
-                            counters.stolen.incr(w);
-                            return Some((t, Provenance::RemotePending(p)));
-                        }
-                    }
-                }
-                SchedulerKind::NumaBlind => {
-                    let peers: Vec<usize> = {
-                        let mut v = self.numa.same_domain_peers(w);
-                        v.extend(self.numa.remote_domain_peers(w));
-                        v.sort_unstable_by_key(|&p| {
-                            (p + self.numa.workers() - w) % self.numa.workers()
-                        });
-                        v
-                    };
-                    for &p in &peers {
-                        if let Some(t) = self.pop_staged(&self.queues.workers[p], w, counters) {
-                            counters.stolen.incr(w);
-                            converted_from = Some((t.id, Provenance::NumaStaged(p)));
-                            self.queues.push_pending(w, t);
-                            continue 'search;
-                        }
-                    }
-                    for &p in &peers {
-                        if let Some(t) = self.pop_pending(&self.queues.workers[p], w, counters) {
-                            counters.stolen.incr(w);
-                            return Some((t, Provenance::NumaPending(p)));
-                        }
-                    }
-                }
-            }
-
-            // Low-priority queue: only when all other work is exhausted.
-            if let Some(staged) = self.queues.low.pop() {
-                counters.converted.incr(w);
-                let t = Task::convert(staged);
-                converted_from = Some((t.id, Provenance::LowPriority));
-                self.queues.push_pending(w, t);
-                continue 'search;
-            }
-            return None;
         }
+
+        // 1. Local pending: the only pop that honours a surviving origin
+        // note — the converting worker reclaiming its own conversion.
+        let own = &self.queues.workers[w];
+        if let Some(mut t) = self.pop_pending(own, w, counters) {
+            let prov = t.origin.take().unwrap_or(Provenance::LocalPending);
+            return Self::dispatch(t, prov, w, counters);
+        }
+        // 2. Local staged (convert → own pending → caller redoes the search).
+        if let Some(t) = self.pop_staged(own, w, counters, Some(Provenance::LocalStaged)) {
+            self.queues.push_pending(w, t);
+            return SearchStep::Converted;
+        }
+
+        match self.kind {
+            SchedulerKind::NoSteal => {}
+            SchedulerKind::PriorityLocalFifo => {
+                // 3. Same-NUMA staged.
+                for p in self.numa.same_domain_peers(w) {
+                    let origin = Some(Provenance::NumaStaged(p));
+                    if let Some(t) = self.pop_staged(&self.queues.workers[p], w, counters, origin) {
+                        self.queues.push_pending(w, t);
+                        return SearchStep::Converted;
+                    }
+                }
+                // 4. Same-NUMA pending.
+                for p in self.numa.same_domain_peers(w) {
+                    if let Some(mut t) = self.pop_pending(&self.queues.workers[p], w, counters) {
+                        t.origin = None;
+                        return Self::dispatch(t, Provenance::NumaPending(p), w, counters);
+                    }
+                }
+                // 5. Remote-NUMA staged.
+                for p in self.numa.remote_domain_peers(w) {
+                    let origin = Some(Provenance::RemoteStaged(p));
+                    if let Some(t) = self.pop_staged(&self.queues.workers[p], w, counters, origin) {
+                        self.queues.push_pending(w, t);
+                        return SearchStep::Converted;
+                    }
+                }
+                // 6. Remote-NUMA pending.
+                for p in self.numa.remote_domain_peers(w) {
+                    if let Some(mut t) = self.pop_pending(&self.queues.workers[p], w, counters) {
+                        t.origin = None;
+                        return Self::dispatch(t, Provenance::RemotePending(p), w, counters);
+                    }
+                }
+            }
+            SchedulerKind::NumaBlind => {
+                // Blind to domains for *ordering* only: provenance still
+                // reports the victim's true domain relative to `w`.
+                let peers: Vec<usize> = {
+                    let mut v = self.numa.same_domain_peers(w);
+                    v.extend(self.numa.remote_domain_peers(w));
+                    v.sort_unstable_by_key(|&p| {
+                        (p + self.numa.workers() - w) % self.numa.workers()
+                    });
+                    v
+                };
+                for &p in &peers {
+                    let origin = Some(if self.numa.same_domain(w, p) {
+                        Provenance::NumaStaged(p)
+                    } else {
+                        Provenance::RemoteStaged(p)
+                    });
+                    if let Some(t) = self.pop_staged(&self.queues.workers[p], w, counters, origin) {
+                        self.queues.push_pending(w, t);
+                        return SearchStep::Converted;
+                    }
+                }
+                for &p in &peers {
+                    if let Some(mut t) = self.pop_pending(&self.queues.workers[p], w, counters) {
+                        t.origin = None;
+                        let prov = if self.numa.same_domain(w, p) {
+                            Provenance::NumaPending(p)
+                        } else {
+                            Provenance::RemotePending(p)
+                        };
+                        return Self::dispatch(t, prov, w, counters);
+                    }
+                }
+            }
+        }
+
+        // Low-priority queue: only when all other work is exhausted. It
+        // holds staged descriptions, so the probe counts against the
+        // staged access/miss family like every other staged probe.
+        counters.staged_accesses.incr(w);
+        if let Some(staged) = self.queues.low.pop() {
+            counters.converted.incr(w);
+            let mut t = Task::convert(staged);
+            t.origin = Some(Provenance::LowPriority);
+            self.queues.push_pending(w, t);
+            return SearchStep::Converted;
+        }
+        counters.staged_misses.incr(w);
+        SearchStep::Empty
+    }
+
+    /// Final hand-off of a found task: charge the steal (if the final
+    /// provenance is one) to the dispatching worker, exactly once.
+    fn dispatch(task: Task, prov: Provenance, w: usize, counters: &ThreadCounters) -> SearchStep {
+        if prov.is_steal() {
+            counters.stolen.incr(w);
+        }
+        SearchStep::Dispatched(task, prov)
     }
 
     fn pop_pending(&self, q: &DualQueue, w: usize, counters: &ThreadCounters) -> Option<Task> {
@@ -322,12 +401,22 @@ impl Scheduler {
         }
     }
 
-    fn pop_staged(&self, q: &DualQueue, w: usize, counters: &ThreadCounters) -> Option<Task> {
+    /// Probe a staged queue; on a hit, convert and stamp the task's
+    /// origin note (where worker `w` found the description).
+    fn pop_staged(
+        &self,
+        q: &DualQueue,
+        w: usize,
+        counters: &ThreadCounters,
+        origin: Option<Provenance>,
+    ) -> Option<Task> {
         counters.staged_accesses.incr(w);
         match q.staged.pop() {
             Some(staged) => {
                 counters.converted.incr(w);
-                Some(Task::convert(staged))
+                let mut t = Task::convert(staged);
+                t.origin = origin;
+                Some(t)
             }
             None => {
                 counters.staged_misses.incr(w);
@@ -338,6 +427,7 @@ impl Scheduler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::task::{Priority, StagedTask, TaskId};
@@ -472,9 +562,31 @@ mod tests {
     fn numa_blind_still_steals() {
         let (s, c) = sched(4, 2, SchedulerKind::NumaBlind);
         s.queues.push_staged(3, staged(1));
-        let (t, _) = s.find_work(0, &c).unwrap();
+        let (t, prov) = s.find_work(0, &c).unwrap();
         assert_eq!(t.id, TaskId(1));
         assert_eq!(c.stolen.sum(), 1);
+        // Worker 3 lives in the other domain; the blind policy may steal
+        // from it out of order but must not mislabel where it was.
+        assert_eq!(prov, Provenance::RemoteStaged(3));
+    }
+
+    #[test]
+    fn numa_blind_reports_true_domain() {
+        // Regression: NumaBlind used to stamp every steal NumaStaged/
+        // NumaPending even for remote-domain victims. 4 workers, 2
+        // domains: {0,1} and {2,3}.
+        let (s, c) = sched(4, 2, SchedulerKind::NumaBlind);
+        s.queues.push_staged(1, staged(1)); // same-domain victim
+        let (_, prov) = s.find_work(0, &c).unwrap();
+        assert_eq!(prov, Provenance::NumaStaged(1));
+
+        s.queues.push_pending(3, Task::convert(staged(2))); // remote victim
+        let (_, prov) = s.find_work(0, &c).unwrap();
+        assert_eq!(prov, Provenance::RemotePending(3));
+
+        s.queues.push_pending(1, Task::convert(staged(3))); // same-domain
+        let (_, prov) = s.find_work(0, &c).unwrap();
+        assert_eq!(prov, Provenance::NumaPending(1));
     }
 
     #[test]
@@ -482,17 +594,84 @@ mod tests {
         let (s, c) = sched(2, 1, SchedulerKind::PriorityLocalFifo);
         assert!(s.find_work(0, &c).is_none());
         // hp pending+staged, own pending+staged, peer staged+pending, low:
-        // pending probes: hp(1) + own(1) + peer(1) = 3, all misses.
+        // pending probes: hp(1) + own(1) + peer(1) = 3, all misses;
+        // staged probes: hp(1) + own(1) + peer(1) + low(1) = 4, all misses.
         assert_eq!(c.pending_accesses.sum(), 3);
         assert_eq!(c.pending_misses.sum(), 3);
-        assert_eq!(c.staged_accesses.sum(), 3);
-        assert_eq!(c.staged_misses.sum(), 3);
+        assert_eq!(c.staged_accesses.sum(), 4);
+        assert_eq!(c.staged_misses.sum(), 4);
 
         s.queues.push_pending(0, Task::convert(staged(1)));
         assert!(s.find_work(0, &c).is_some());
         // hp pending(miss), hp staged(miss), own pending(hit).
         assert_eq!(c.pending_accesses.sum(), 5);
         assert_eq!(c.pending_misses.sum(), 4);
+        assert_eq!(c.staged_accesses.sum(), 5);
+        assert_eq!(c.staged_misses.sum(), 5);
+    }
+
+    #[test]
+    fn low_priority_probes_bump_staged_counters() {
+        // Regression: the low-queue probe used to bypass the staged
+        // access/miss counters entirely, contradicting the module doc.
+        let (s, c) = sched(1, 1, SchedulerKind::PriorityLocalFifo);
+        s.queues.push_low(staged(1));
+        let (t, prov) = s.find_work(0, &c).unwrap();
+        assert_eq!(t.id, TaskId(1));
+        assert_eq!(prov, Provenance::LowPriority);
+        // Pass 1: hp staged miss, own staged miss, low HIT (access only);
+        // pass 2 reaches hp staged (miss) before the own-pending hit.
+        assert_eq!(c.staged_accesses.sum(), 4, "low probe must count");
+        assert_eq!(c.staged_misses.sum(), 3, "a low hit is not a miss");
+        assert_eq!(c.converted.sum(), 1);
+
+        // And an unsuccessful probe is a counted miss.
+        assert!(s.find_work(0, &c).is_none());
+        assert_eq!(c.staged_accesses.sum(), 7);
+        assert_eq!(c.staged_misses.sum(), 6);
+    }
+
+    #[test]
+    fn raided_conversion_counts_one_steal_for_the_raider() {
+        // Regression: worker 0 steals a staged description from peer 1,
+        // converts it, and parks it in its own pending queue. Before it
+        // can reloop, worker 2 (remote domain) raids that pending queue.
+        // The old code charged worker 0 a steal at conversion time and
+        // worker 2 another at the raid — double-counting one task and
+        // attributing a steal to a worker that never dispatched anything.
+        let (s, c) = sched(4, 2, SchedulerKind::PriorityLocalFifo);
+        s.queues.push_staged(1, staged(7));
+
+        // Freeze worker 0 mid-round-trip: exactly one search pass.
+        assert!(matches!(s.search_step(0, &c), SearchStep::Converted));
+        assert_eq!(c.stolen.sum(), 0, "no dispatch yet, so no steal");
+        assert_eq!(c.converted.sum(), 1);
+        assert_eq!(s.queues.workers[0].pending.len(), 1);
+
+        // Worker 2 raids worker 0's pending queue (Fig. 1 step 6 for it).
+        let (t, prov) = s.find_work(2, &c).unwrap();
+        assert_eq!(t.id, TaskId(7));
+        assert_eq!(prov, Provenance::RemotePending(0), "true final source");
+        assert_eq!(c.stolen.sum(), 1, "exactly one steal: the raid");
+        assert_eq!(c.stolen.get(2), 1, "charged to the raider");
+
+        // Worker 0 reloops and finds nothing; the count must not move.
+        assert!(s.find_work(0, &c).is_none());
+        assert_eq!(c.stolen.sum(), 1);
+    }
+
+    #[test]
+    fn conversion_provenance_survives_own_roundtrip() {
+        // The flip side: when the converting worker does win the reloop,
+        // dispatch reports the original staged-steal provenance and
+        // charges the (single) steal to the converter.
+        let (s, c) = sched(2, 1, SchedulerKind::PriorityLocalFifo);
+        s.queues.push_staged(1, staged(9));
+        let (t, prov) = s.find_work(0, &c).unwrap();
+        assert_eq!(t.id, TaskId(9));
+        assert_eq!(prov, Provenance::NumaStaged(1));
+        assert_eq!(c.stolen.sum(), 1);
+        assert_eq!(c.stolen.get(0), 1);
     }
 
     #[test]

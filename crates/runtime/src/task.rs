@@ -187,6 +187,15 @@ pub struct Task {
     pub body: TaskBody,
     /// Group membership (None: ungrouped).
     pub group: Option<std::sync::Arc<crate::group::TaskGroup>>,
+    /// Where the task was when the converting worker found it — set at
+    /// conversion time and consumed when the *converting* worker
+    /// dispatches the task from its own pending queue. It must ride on
+    /// the task itself (not on the converter's stack) because a third
+    /// worker can raid the pending queue between conversion and
+    /// dispatch; the raider discards the note and reports the
+    /// pending-queue steal it actually performed. `None` for tasks
+    /// enqueued directly as pending (resumes, yields).
+    pub origin: Option<crate::scheduler::Provenance>,
 }
 
 impl Task {
@@ -201,6 +210,7 @@ impl Task {
             exec_ns: 0,
             body: staged.body,
             group: staged.group,
+            origin: None,
         }
     }
 

@@ -38,13 +38,18 @@ pub(crate) fn worker_loop(inner: Arc<Inner>, w: usize) {
     let mut failed_rounds: u32 = 0;
 
     loop {
+        // Eventcount ticket, taken before any probe of this iteration:
+        // any wake() fired after this point (spawn, resume, throttle
+        // change, shutdown) makes a later park() of this iteration
+        // return immediately instead of sleeping through the event.
+        let ticket = inner.park_ticket();
         if w >= inner.active_limit.load(Ordering::SeqCst) {
             if inner.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             // Throttled: park without taking work; throttled time is
             // deliberate and never charged as starvation.
-            inner.park();
+            inner.park_throttled(ticket);
             mark = Instant::now();
             failed_rounds = 0;
             continue;
@@ -219,7 +224,10 @@ pub(crate) fn worker_loop(inner: Arc<Inner>, w: usize) {
                     // counters don't drift while nothing is happening.
                     mark = Instant::now();
                 }
-                inner.park();
+                // The ticket predates this iteration's (empty) search: a
+                // spawn that raced it bumped the generation and voids the
+                // park — the lost-wakeup window is closed.
+                inner.park(ticket);
                 let now = Instant::now();
                 if inner.in_flight.load(Ordering::SeqCst) > 0 {
                     // Genuine starvation: work exists but this worker can't

@@ -33,12 +33,27 @@ echo "==> chaos soak (bounded)"
 cargo run --release -p grain-bench --bin soak --offline -- \
     --virtual-seconds 30 --seed 7
 
+echo "==> queue bench smoke"
+# Bounded run of the scheduler-queue microbenchmark: asserts
+# pop-after-push FIFO sanity internally (non-zero exit on violation) and
+# records the lockfree-vs-mutex throughput table plus the fine-grain
+# stencil sweep for before/after comparison.
+mkdir -p results
+cargo run --release -p grain-bench --bin queue_bench --offline -- --quick \
+    | tee results/queue_bench.txt
+grep -q '^OK$' results/queue_bench.txt || {
+    echo "queue_bench did not complete" >&2
+    exit 1
+}
+
 echo "==> unwrap-free hot paths"
-# The worker dispatch loop, the service dispatcher, and the overload
-# path (admission + pressure) must not use unwrap(): a poisoned-lock or
-# bad-option unwrap there takes down a worker or wedges every tenant.
+# The worker dispatch loop, the scheduler search, the lock-free queue,
+# the service dispatcher, and the overload path (admission + pressure)
+# must not use unwrap(): a poisoned-lock or bad-option unwrap there
+# takes down a worker or wedges every tenant.
 # Enforced by clippy at deny level; assert the attributes stay in place.
-for f in crates/runtime/src/worker.rs crates/service/src/service.rs \
+for f in crates/runtime/src/worker.rs crates/runtime/src/queue.rs \
+    crates/runtime/src/scheduler.rs crates/service/src/service.rs \
     crates/service/src/admission.rs crates/service/src/pressure.rs; do
     grep -q 'deny(clippy::unwrap_used)' "$f" || {
         echo "missing #![deny(clippy::unwrap_used)] in $f" >&2
