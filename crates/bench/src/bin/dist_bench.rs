@@ -1,0 +1,158 @@
+//! `dist_bench` — distributed stencil benchmark over in-process
+//! loopback localities.
+//!
+//! The distributed analog of the paper's task-size sweep: the same 1-D
+//! heat stencil, but with the partition ring split across `L` loopback
+//! localities, so every time step pays two remote edge exchanges per
+//! locality through the full parcel path (serialize → frame → bounded
+//! send queue → writer thread → dispatch → deferred reply). Sweeping
+//! partition size at fixed total points shows where communication
+//! overhead overtakes computation — the distributed edition of the
+//! paper's granularity trade-off.
+//!
+//! For each configuration the binary reports wall time, parcels and
+//! bytes sent, average serialization time, and the verified
+//! sent==received balance across all localities at quiescence.
+//!
+//! **Caveat (single-core hosts)**: loopback localities multiply worker
+//! *threads*, not cores. On a 1-core host every extra locality adds
+//! scheduling pressure and the sweep measures protocol overhead only —
+//! relative numbers across locality counts are NOT speedups. The header
+//! prints detected parallelism so recorded results are interpretable.
+//!
+//! Flags: `--quick` (bounded shapes for the CI smoke stage).
+
+use grain_net::bootstrap::Fabric;
+use grain_runtime::Runtime;
+use grain_runtime::RuntimeConfig;
+use grain_stencil::distributed::DistStencil;
+use grain_stencil::{run_futurized, StencilParams};
+use std::time::Instant;
+
+/// One sweep configuration: world size and partition count at fixed
+/// total points.
+struct Case {
+    world: usize,
+    np: usize,
+}
+
+fn run_case(total_points: usize, nt: usize, case: &Case) {
+    let nx = (total_points / case.np).max(1);
+    let params = StencilParams::new(nx, case.np, nt);
+
+    let fabric = Fabric::loopback(case.world, |_| RuntimeConfig::with_workers(1));
+    let instances: Vec<DistStencil> = (0..case.world)
+        .map(|k| DistStencil::install(fabric.locality(k), params))
+        .collect();
+
+    let t0 = Instant::now();
+    for inst in &instances {
+        inst.start();
+    }
+    let grid = instances[0].gather().expect("distributed run settled");
+    let wall = t0.elapsed();
+
+    // Quiescence: every local block settled before gather returned, and
+    // the remaining reply deliveries complete in microseconds; poll the
+    // balance briefly so the printed books always agree.
+    let deadline = Instant::now() + std::time::Duration::from_secs(5);
+    let books = || {
+        let sent: u64 = (0..case.world)
+            .map(|k| fabric.locality(k).parcels().sent.get())
+            .sum();
+        let received: u64 = (0..case.world)
+            .map(|k| fabric.locality(k).parcels().received.get())
+            .sum();
+        (sent, received)
+    };
+    let (sent, received) = loop {
+        let (sent, received) = books();
+        if sent == received || Instant::now() >= deadline {
+            break (sent, received);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    };
+    let bytes: u64 = (0..case.world)
+        .map(|k| fabric.locality(k).parcels().bytes_sent.get())
+        .sum();
+    let ser_ns: u64 = (0..case.world)
+        .map(|k| fabric.locality(k).parcels().ser_ns.get())
+        .sum();
+    let ser_samples: u64 = (0..case.world)
+        .map(|k| fabric.locality(k).parcels().ser_samples.get())
+        .sum();
+    let avg_ser = if ser_samples == 0 {
+        0.0
+    } else {
+        ser_ns as f64 / ser_samples as f64
+    };
+
+    // Correctness spot check against the single-runtime oracle.
+    let rt = Runtime::with_workers(1);
+    let oracle = run_futurized(&rt, &params);
+    assert_eq!(grid, oracle, "distributed result diverged from oracle");
+
+    println!(
+        "L={:<2} np={:<5} nx={:<6} | wall {:>10.3?} | parcels {:>6} (balance {}) | {:>8} B | avg-ser {:>7.0} ns",
+        case.world,
+        case.np,
+        nx,
+        wall,
+        sent,
+        if sent == received { "ok" } else { "MISMATCH" },
+        bytes,
+        avg_ser,
+    );
+    assert_eq!(sent, received, "parcel books must balance at quiescence");
+    fabric.shutdown();
+}
+
+fn main() {
+    let mut quick = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("usage: dist_bench [--quick] (got {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("dist_bench: distributed stencil over loopback localities");
+    println!(
+        "host parallelism: {} (see header caveat: locality counts are protocol overhead, not speedup, when this is 1)",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+
+    let (total_points, nt, cases): (usize, usize, Vec<Case>) = if quick {
+        (
+            1024,
+            8,
+            vec![
+                Case { world: 1, np: 8 },
+                Case { world: 2, np: 8 },
+                Case { world: 4, np: 8 },
+            ],
+        )
+    } else {
+        (
+            65_536,
+            50,
+            vec![
+                Case { world: 1, np: 16 },
+                Case { world: 2, np: 16 },
+                Case { world: 4, np: 16 },
+                Case { world: 2, np: 64 },
+                Case { world: 4, np: 64 },
+                Case { world: 4, np: 256 },
+            ],
+        )
+    };
+    println!("total points {total_points}, {nt} time steps; result checked against the single-runtime oracle each case");
+    println!();
+    for case in &cases {
+        run_case(total_points, nt, case);
+    }
+    println!();
+    println!("OK");
+}

@@ -108,15 +108,35 @@ impl CounterPath {
         }
     }
 
-    /// Instance string for worker `w` on locality 0, the convention used by
-    /// every component in this project.
+    /// Prefix naming locality `id` in an instance qualifier (the HPX
+    /// locality namespace the multi-locality layer populates):
+    /// `locality_prefix(3)` → `"locality#3"`. Every instance string in
+    /// the project is built from this helper so non-root localities get
+    /// correct counter paths.
+    pub fn locality_prefix(id: usize) -> String {
+        format!("locality#{id}")
+    }
+
+    /// Instance string for worker `w` on locality 0, the single-locality
+    /// convention used before the distribution layer existed.
     pub fn worker_instance(w: usize) -> String {
-        format!("locality#0/worker-thread#{w}")
+        Self::worker_instance_for(0, w)
+    }
+
+    /// Instance string for worker `w` on locality `locality`.
+    pub fn worker_instance_for(locality: usize, w: usize) -> String {
+        format!("{}/worker-thread#{w}", Self::locality_prefix(locality))
     }
 
     /// Instance string for the aggregate over all workers on locality 0.
     pub fn total_instance() -> String {
-        "locality#0/total".to_owned()
+        Self::total_instance_for(0)
+    }
+
+    /// Instance string for the aggregate over all workers on locality
+    /// `locality`.
+    pub fn total_instance_for(locality: usize) -> String {
+        format!("{}/total", Self::locality_prefix(locality))
     }
 
     /// True if `self` (possibly containing a trailing `*` wildcard in its
@@ -303,5 +323,24 @@ mod tests {
             "locality#0/worker-thread#3"
         );
         assert_eq!(CounterPath::total_instance(), "locality#0/total");
+    }
+
+    #[test]
+    fn locality_parameterized_instances() {
+        assert_eq!(CounterPath::locality_prefix(7), "locality#7");
+        assert_eq!(CounterPath::total_instance_for(2), "locality#2/total");
+        assert_eq!(
+            CounterPath::worker_instance_for(2, 5),
+            "locality#2/worker-thread#5"
+        );
+        // Locality 0 helpers stay the historical single-locality strings.
+        assert_eq!(
+            CounterPath::total_instance_for(0),
+            CounterPath::total_instance()
+        );
+        assert_eq!(
+            CounterPath::worker_instance_for(0, 3),
+            CounterPath::worker_instance(3)
+        );
     }
 }

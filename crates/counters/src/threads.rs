@@ -110,10 +110,18 @@ impl ThreadCounters {
         (func - exec) as f64 / n as f64
     }
 
-    /// Register the whole counter tree into `registry`.
+    /// Register the whole counter tree into `registry` under locality 0
+    /// (the single-locality convention). See
+    /// [`ThreadCounters::register_at`].
+    pub fn register(&self, registry: &Registry) -> Result<(), RegistryError> {
+        self.register_at(registry, 0)
+    }
+
+    /// Register the whole counter tree into `registry` under the given
+    /// locality id.
     ///
-    /// Registered paths (`<T>` = `{locality#0/total}`,
-    /// `<w>` = `{locality#0/worker-thread#w}` for every worker):
+    /// Registered paths (`<T>` = `{locality#L/total}`,
+    /// `<w>` = `{locality#L/worker-thread#w}` for every worker):
     ///
     /// * `/threads<T>/count/cumulative`, `…/count/cumulative-phases`
     /// * `/threads<T>/time/cumulative-exec`, `…/time/cumulative-func`
@@ -124,8 +132,8 @@ impl ThreadCounters {
     ///   `…/staged-accesses`, `…/staged-misses`, `…/stolen`, `…/converted`
     /// * per-worker: `idle-rate`, `time/average`, `count/cumulative`,
     ///   `count/pending-accesses`, `count/pending-misses`
-    pub fn register(&self, registry: &Registry) -> Result<(), RegistryError> {
-        let t = CounterPath::total_instance();
+    pub fn register_at(&self, registry: &Registry, locality: usize) -> Result<(), RegistryError> {
+        let t = CounterPath::total_instance_for(locality);
         let total = |name: &str| format!("/threads{{{t}}}/{name}");
 
         let counts: &[(&str, &Arc<Sharded>)] = &[
@@ -225,7 +233,7 @@ impl ThreadCounters {
 
         // Per-worker instances.
         for w in 0..self.workers {
-            let inst = CounterPath::worker_instance(w);
+            let inst = CounterPath::worker_instance_for(locality, w);
             let path = |name: &str| format!("/threads{{{inst}}}/{name}");
             registry.register(
                 &path("idle-rate"),
@@ -319,6 +327,24 @@ mod tests {
         );
         assert_eq!(q("/threads{locality#0/worker-thread#0}/idle-rate"), 0.5);
         assert_eq!(q("/threads{locality#0/worker-thread#1}/idle-rate"), 0.0);
+    }
+
+    #[test]
+    fn registration_under_nonzero_locality() {
+        let c = ThreadCounters::new(2);
+        let reg = Registry::new();
+        c.register_at(&reg, 5).unwrap();
+        c.tasks.add(1, 3);
+        let q = |p: &str| reg.query(p).unwrap().value;
+        assert_eq!(q("/threads{locality#5/total}/count/cumulative"), 3.0);
+        assert_eq!(
+            q("/threads{locality#5/worker-thread#1}/count/cumulative"),
+            3.0
+        );
+        // Nothing leaked under the locality-0 namespace.
+        assert!(reg
+            .query("/threads{locality#0/total}/count/cumulative")
+            .is_err());
     }
 
     #[test]

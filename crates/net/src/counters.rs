@@ -1,0 +1,162 @@
+//! The `/parcels/*` performance-counter family.
+//!
+//! Mirrors HPX's parcel-layer counters under the same naming scheme the
+//! rest of the project uses, instanced per locality:
+//!
+//! ```text
+//! /parcels{locality#N/total}/count/sent
+//! /parcels{locality#N/total}/count/received
+//! /parcels{locality#N/total}/bytes/sent
+//! /parcels{locality#N/total}/bytes/received
+//! /parcels{locality#N/total}/time/average-serialization
+//! /parcels{locality#N/total}/queue-length
+//! ```
+//!
+//! Only parcels proper — `Call` and `Reply` frames — are counted;
+//! handshake/teardown control frames are invisible here. That makes the
+//! balance invariant exact at quiescence: summed across all localities,
+//! `count/sent == count/received` once every outstanding call has
+//! settled.
+//!
+//! `sent`/`bytes/sent` are bumped by the link writer thread at the moment
+//! of delivery; `received`/`bytes/received` by the owning locality when
+//! it dispatches an inbound parcel. `time/average-serialization` is
+//! argument+frame encode time per sent parcel, in nanoseconds.
+//! `queue-length` is a live view of frames waiting in this locality's
+//! outbound send queues.
+
+use grain_counters::registry::RawView;
+use grain_counters::{DerivedCounter, RawCounter, Registry, RegistryError, Unit};
+use std::sync::Arc;
+
+/// Raw event counters for one locality's parcel traffic. Shared between
+/// the locality, its links (writer threads bump `sent`), and the derived
+/// registry views.
+pub struct ParcelCounters {
+    /// Parcels (Call/Reply frames) delivered to a peer.
+    pub sent: Arc<RawCounter>,
+    /// Parcels dispatched from a peer.
+    pub received: Arc<RawCounter>,
+    /// Encoded bytes of sent parcels.
+    pub bytes_sent: Arc<RawCounter>,
+    /// Encoded bytes of received parcels.
+    pub bytes_received: Arc<RawCounter>,
+    /// Nanoseconds spent serializing outbound call arguments and frames.
+    pub ser_ns: Arc<RawCounter>,
+    /// Number of serialization samples behind `ser_ns`.
+    pub ser_samples: Arc<RawCounter>,
+}
+
+impl Default for ParcelCounters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParcelCounters {
+    /// Fresh all-zero counter set.
+    pub fn new() -> Self {
+        Self {
+            sent: Arc::new(RawCounter::new()),
+            received: Arc::new(RawCounter::new()),
+            bytes_sent: Arc::new(RawCounter::new()),
+            bytes_received: Arc::new(RawCounter::new()),
+            ser_ns: Arc::new(RawCounter::new()),
+            ser_samples: Arc::new(RawCounter::new()),
+        }
+    }
+
+    /// Register the family under `/parcels{locality#N/total}/…` in
+    /// `registry`. `queue_len` is sampled live for the `queue-length`
+    /// counter (sum of this locality's outbound send-queue depths).
+    pub fn register(
+        &self,
+        registry: &Registry,
+        locality: usize,
+        queue_len: impl Fn() -> f64 + Send + Sync + 'static,
+    ) -> Result<(), RegistryError> {
+        let t = format!("locality#{locality}/total");
+        registry.register(
+            &format!("/parcels{{{t}}}/count/sent"),
+            RawView::new(Arc::clone(&self.sent), Unit::Count),
+        )?;
+        registry.register(
+            &format!("/parcels{{{t}}}/count/received"),
+            RawView::new(Arc::clone(&self.received), Unit::Count),
+        )?;
+        registry.register(
+            &format!("/parcels{{{t}}}/bytes/sent"),
+            RawView::new(Arc::clone(&self.bytes_sent), Unit::Bytes),
+        )?;
+        registry.register(
+            &format!("/parcels{{{t}}}/bytes/received"),
+            RawView::new(Arc::clone(&self.bytes_received), Unit::Bytes),
+        )?;
+        let ns = Arc::clone(&self.ser_ns);
+        let samples = Arc::clone(&self.ser_samples);
+        registry.register(
+            &format!("/parcels{{{t}}}/time/average-serialization"),
+            DerivedCounter::new(Unit::Nanoseconds, move || {
+                let n = samples.get();
+                if n == 0 {
+                    0.0
+                } else {
+                    ns.get() as f64 / n as f64
+                }
+            }),
+        )?;
+        registry.register(
+            &format!("/parcels{{{t}}}/queue-length"),
+            DerivedCounter::new(Unit::Count, queue_len),
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_registers_and_reads_back() {
+        let c = ParcelCounters::new();
+        let reg = Registry::new();
+        c.register(&reg, 3, || 2.0).expect("register");
+
+        c.sent.add(5);
+        c.bytes_sent.add(100);
+        c.ser_ns.add(500);
+        c.ser_samples.add(5);
+
+        let t = "locality#3/total";
+        let v = reg
+            .query(&format!("/parcels{{{t}}}/count/sent"))
+            .expect("sent");
+        assert_eq!(v.value, 5.0);
+        let v = reg
+            .query(&format!("/parcels{{{t}}}/bytes/sent"))
+            .expect("bytes");
+        assert_eq!(v.value, 100.0);
+        let v = reg
+            .query(&format!("/parcels{{{t}}}/time/average-serialization"))
+            .expect("avg ser");
+        assert_eq!(v.value, 100.0);
+        let v = reg
+            .query(&format!("/parcels{{{t}}}/queue-length"))
+            .expect("queue");
+        assert_eq!(v.value, 2.0);
+        // Locality-0 instance must NOT exist: paths are per locality.
+        assert!(reg.query("/parcels{locality#0/total}/count/sent").is_err());
+    }
+
+    #[test]
+    fn average_serialization_is_zero_with_no_samples() {
+        let c = ParcelCounters::new();
+        let reg = Registry::new();
+        c.register(&reg, 0, || 0.0).expect("register");
+        let v = reg
+            .query("/parcels{locality#0/total}/time/average-serialization")
+            .expect("avg");
+        assert_eq!(v.value, 0.0);
+    }
+}

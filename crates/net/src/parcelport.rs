@@ -1,0 +1,623 @@
+//! The parcelport: point-to-point links that carry encoded frames.
+//!
+//! A [`Link`] is one *directed* lane from the owning locality to a single
+//! peer: a bounded send queue drained by a dedicated writer thread. Two
+//! transports share that shape:
+//!
+//! * **TCP** — the writer thread writes `u32`-LE length-prefixed frames to
+//!   the socket; a companion reader thread reads frames off the same
+//!   socket and hands the raw bytes to the locality's frame handler. One
+//!   socket therefore backs *two* links (one per direction), each owned by
+//!   its side.
+//! * **Loopback** — no socket at all: the writer thread delivers the
+//!   encoded bytes straight into the peer's frame handler. Both ends live
+//!   in one process, which makes multi-locality tests hermetic and
+//!   deterministic while exercising the identical queue/writer machinery.
+//!
+//! Backpressure is bounded and deadlock-free by construction: `send`
+//! blocks while the queue is full, but only up to [`SEND_TIMEOUT`]. A
+//! send that cannot make progress for that long means the peer has
+//! effectively stopped draining — the link is severed and every
+//! outstanding future against that peer settles with
+//! `TaskError::Disconnected` instead of the whole fabric deadlocking.
+//!
+//! Counter discipline: the *sending* side bumps `/parcels/count/sent`
+//! and `/parcels/bytes/sent` in the writer thread at the moment of
+//! delivery; the *receiving* locality bumps `received` when it dispatches
+//! the frame. Only parcels proper ([`Frame::is_parcel`]: `Call`/`Reply`)
+//! are counted — handshake and teardown control frames are not traffic.
+
+#![deny(clippy::unwrap_used)]
+
+use crate::codec::{CodecError, Frame, MAX_FRAME};
+use crate::counters::ParcelCounters;
+use grain_counters::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Callback invoked with `(sender_locality, frame_bytes)` for every frame
+/// that arrives at a locality.
+pub type FrameHandler = Arc<dyn Fn(usize, Vec<u8>) + Send + Sync>;
+
+/// Callback invoked with the peer's locality id when a link to that peer
+/// is severed (fired at most once per link).
+pub type DisconnectHandler = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// How long a full send queue may stall a sender before the link is
+/// declared dead. Generous: hitting this means the peer's reader has not
+/// drained *anything* for the whole window.
+pub const SEND_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default bound on the send queue, in frames.
+pub const DEFAULT_QUEUE_CAP: usize = 1024;
+
+/// Why a send did not take the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The link is closed or severed; the peer is unreachable.
+    Closed,
+    /// The queue stayed full for [`SEND_TIMEOUT`]; the link has been
+    /// severed to break the stall.
+    Backpressure,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::Closed => write!(f, "link closed"),
+            SendError::Backpressure => write!(f, "send queue stalled; link severed"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Mutable queue state behind the lock.
+struct QueueState {
+    /// Encoded frames with their "counts as a parcel" flag.
+    frames: VecDeque<(Vec<u8>, bool)>,
+    /// Total encoded bytes currently queued.
+    bytes: usize,
+    /// No further sends accepted; the writer drains what is queued.
+    closed: bool,
+    /// Abrupt teardown: queued frames are discarded, the writer exits.
+    severed: bool,
+}
+
+/// Bounded MPSC queue feeding one writer thread.
+struct SendQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl SendQueue {
+    fn new(cap: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                frames: VecDeque::new(),
+                bytes: 0,
+                closed: false,
+                severed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueue, blocking while full up to `timeout`.
+    fn push(&self, bytes: Vec<u8>, parcel: bool, timeout: Duration) -> Result<(), SendError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if st.closed || st.severed {
+                return Err(SendError::Closed);
+            }
+            if st.frames.len() < self.cap {
+                st.bytes += bytes.len();
+                st.frames.push_back((bytes, parcel));
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendError::Backpressure);
+            }
+            if self.not_full.wait_for(&mut st, deadline - now) {
+                // Timed out; loop once more to re-check capacity, then
+                // the deadline test above returns Backpressure.
+            }
+        }
+    }
+
+    /// Dequeue the next frame; `None` once the queue is drained-and-closed
+    /// or severed.
+    fn pop(&self) -> Option<(Vec<u8>, bool)> {
+        let mut st = self.state.lock();
+        loop {
+            if st.severed {
+                return None;
+            }
+            if let Some(item) = st.frames.pop_front() {
+                st.bytes -= item.0.len();
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut st);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().frames.len()
+    }
+
+    fn queued_bytes(&self) -> usize {
+        self.state.lock().bytes
+    }
+
+    /// Stop accepting sends; the writer drains what is queued, then exits.
+    fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Abrupt teardown: discard queued frames and release all waiters.
+    fn sever(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        st.severed = true;
+        st.frames.clear();
+        st.bytes = 0;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Where the writer thread delivers encoded frames.
+enum Sink {
+    /// Write length-prefixed frames to the socket.
+    Tcp(TcpStream),
+    /// Hand the bytes straight to the peer's frame handler, labelled with
+    /// the sending locality's id.
+    Loopback {
+        peer_incoming: FrameHandler,
+        sender_id: usize,
+    },
+}
+
+/// One directed lane from the owning locality to `peer`.
+///
+/// Created via [`Link::tcp`] or [`loopback_pair`]; send frames with
+/// [`Link::send`]; tear down with [`Link::close`] (graceful drain) or
+/// [`Link::sever`] (abrupt, fires the disconnect handler).
+pub struct Link {
+    /// Locality id of the remote end.
+    peer: usize,
+    queue: Arc<SendQueue>,
+    counters: Arc<ParcelCounters>,
+    on_disconnect: DisconnectHandler,
+    disconnect_fired: AtomicBool,
+    /// The reverse-direction link of a loopback pair; severing one side
+    /// severs the other so both localities observe the disconnect.
+    partner: Mutex<Weak<Link>>,
+    /// Kept so `sever` can shut the socket down and unblock the reader
+    /// and writer threads mid-syscall.
+    tcp: Option<TcpStream>,
+}
+
+impl Link {
+    /// Wrap an already-handshaken TCP socket as a link to `peer`.
+    ///
+    /// Spawns the writer thread (draining the send queue into the socket)
+    /// and a reader thread (delivering inbound frames to `incoming`).
+    /// Either thread severing the link fires `on_disconnect(peer)` exactly
+    /// once.
+    pub fn tcp(
+        peer: usize,
+        stream: TcpStream,
+        incoming: FrameHandler,
+        on_disconnect: DisconnectHandler,
+        counters: Arc<ParcelCounters>,
+        cap: usize,
+    ) -> io::Result<Arc<Link>> {
+        let writer_stream = stream.try_clone()?;
+        let reader_stream = stream.try_clone()?;
+        let link = Arc::new(Link {
+            peer,
+            queue: Arc::new(SendQueue::new(cap)),
+            counters,
+            on_disconnect,
+            disconnect_fired: AtomicBool::new(false),
+            partner: Mutex::new(Weak::new()),
+            tcp: Some(stream),
+        });
+
+        {
+            let link = Arc::clone(&link);
+            std::thread::Builder::new()
+                .name(format!("grain-net-tx-{peer}"))
+                .spawn(move || writer_loop(link, Sink::Tcp(writer_stream)))?;
+        }
+        {
+            let link = Arc::clone(&link);
+            std::thread::Builder::new()
+                .name(format!("grain-net-rx-{peer}"))
+                .spawn(move || reader_loop(link, reader_stream, incoming))?;
+        }
+        Ok(link)
+    }
+
+    /// Locality id of the remote end of this link.
+    pub fn peer(&self) -> usize {
+        self.peer
+    }
+
+    /// Frames currently waiting in the send queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Encoded bytes currently waiting in the send queue.
+    pub fn queued_bytes(&self) -> usize {
+        self.queue.queued_bytes()
+    }
+
+    /// Encode `frame` and enqueue it for delivery.
+    ///
+    /// Blocks while the queue is full, up to [`SEND_TIMEOUT`]; a stall
+    /// that long severs the link (see module docs) and returns
+    /// [`SendError::Backpressure`].
+    pub fn send(&self, frame: &Frame) -> Result<(), SendError> {
+        let bytes = frame.encode();
+        let parcel = frame.is_parcel();
+        match self.queue.push(bytes, parcel, SEND_TIMEOUT) {
+            Ok(()) => Ok(()),
+            Err(SendError::Backpressure) => {
+                self.sever();
+                Err(SendError::Backpressure)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Graceful shutdown: no further sends are accepted, queued frames
+    /// are still delivered, then the writer exits. Does not fire the
+    /// disconnect handler — the caller initiated this.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
+    /// Abrupt teardown: discard queued frames, shut the socket down (if
+    /// TCP), sever the loopback partner (if any), and fire the disconnect
+    /// handler (once).
+    pub fn sever(&self) {
+        self.sever_inner(true);
+    }
+
+    fn sever_inner(&self, propagate: bool) {
+        self.queue.sever();
+        if let Some(s) = &self.tcp {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if propagate {
+            let partner = self.partner.lock().upgrade();
+            if let Some(p) = partner {
+                p.sever_inner(false);
+            }
+        }
+        if !self.disconnect_fired.swap(true, Ordering::SeqCst) {
+            (self.on_disconnect)(self.peer);
+        }
+    }
+}
+
+/// One end of a loopback pair: identity plus the inbound plumbing of the
+/// locality that owns this end.
+pub struct EndPoint {
+    /// Locality id of this end.
+    pub id: usize,
+    /// Where frames addressed to this end are delivered.
+    pub incoming: FrameHandler,
+    /// Fired (with the peer's id) when the pair is severed.
+    pub on_disconnect: DisconnectHandler,
+    /// This end's parcel counters (bumped on *send* by its outbound link).
+    pub counters: Arc<ParcelCounters>,
+}
+
+/// Build both directions of an in-process link between localities `a` and
+/// `b`. Returns `(a_to_b, b_to_a)`. Severing either direction severs the
+/// other, so both localities observe the disconnect — exactly like a TCP
+/// socket dying.
+pub fn loopback_pair(a: EndPoint, b: EndPoint, cap: usize) -> (Arc<Link>, Arc<Link>) {
+    let a_to_b = Arc::new(Link {
+        peer: b.id,
+        queue: Arc::new(SendQueue::new(cap)),
+        counters: Arc::clone(&a.counters),
+        on_disconnect: a.on_disconnect,
+        disconnect_fired: AtomicBool::new(false),
+        partner: Mutex::new(Weak::new()),
+        tcp: None,
+    });
+    let b_to_a = Arc::new(Link {
+        peer: a.id,
+        queue: Arc::new(SendQueue::new(cap)),
+        counters: Arc::clone(&b.counters),
+        on_disconnect: b.on_disconnect,
+        disconnect_fired: AtomicBool::new(false),
+        partner: Mutex::new(Weak::new()),
+        tcp: None,
+    });
+    *a_to_b.partner.lock() = Arc::downgrade(&b_to_a);
+    *b_to_a.partner.lock() = Arc::downgrade(&a_to_b);
+
+    spawn_loopback_writer(&a_to_b, b.incoming, a.id);
+    spawn_loopback_writer(&b_to_a, a.incoming, b.id);
+    (a_to_b, b_to_a)
+}
+
+fn spawn_loopback_writer(link: &Arc<Link>, peer_incoming: FrameHandler, sender_id: usize) {
+    let link = Arc::clone(link);
+    let name = format!("grain-net-lo-{sender_id}-to-{}", link.peer);
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let sink = Sink::Loopback {
+                peer_incoming,
+                sender_id,
+            };
+            writer_loop(link, sink)
+        })
+        .expect("failed to spawn loopback writer thread");
+}
+
+/// Drain the send queue into the sink until closed/severed, bumping the
+/// owning side's sent counters per delivered parcel.
+fn writer_loop(link: Arc<Link>, mut sink: Sink) {
+    while let Some((bytes, parcel)) = link.queue.pop() {
+        let n = bytes.len();
+        match &mut sink {
+            Sink::Tcp(stream) => {
+                let len = (n as u32).to_le_bytes();
+                if stream.write_all(&len).is_err() || stream.write_all(&bytes).is_err() {
+                    link.sever();
+                    return;
+                }
+            }
+            Sink::Loopback {
+                peer_incoming,
+                sender_id,
+            } => {
+                (peer_incoming)(*sender_id, bytes);
+            }
+        }
+        if parcel {
+            link.counters.sent.incr();
+            link.counters.bytes_sent.add(n as u64);
+        }
+    }
+    // Graceful drain complete: flush the socket's write side so the peer
+    // sees everything (including a trailing Goodbye) before EOF.
+    if let Sink::Tcp(stream) = &sink {
+        let _ = stream.shutdown(Shutdown::Write);
+    }
+}
+
+/// Read length-prefixed frames off the socket and deliver the raw bytes
+/// to `incoming` until EOF/error, then sever the link.
+fn reader_loop(link: Arc<Link>, mut stream: TcpStream, incoming: FrameHandler) {
+    loop {
+        match read_raw_frame(&mut stream) {
+            Ok(bytes) => (incoming)(link.peer, bytes),
+            Err(_) => {
+                link.sever();
+                return;
+            }
+        }
+    }
+}
+
+/// Read one length-prefixed frame's raw bytes from `stream`.
+fn read_raw_frame(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("inbound frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Write one frame, length-prefixed, directly to a socket. Used during
+/// the bootstrap handshake, before the link's writer thread exists.
+pub fn write_frame(stream: &mut TcpStream, frame: &Frame) -> io::Result<()> {
+    let bytes = frame.encode();
+    let len = (bytes.len() as u32).to_le_bytes();
+    stream.write_all(&len)?;
+    stream.write_all(&bytes)
+}
+
+/// Read and decode one frame directly from a socket (bootstrap handshake
+/// counterpart of [`write_frame`]).
+pub fn read_frame(stream: &mut TcpStream) -> io::Result<Frame> {
+    let bytes = read_raw_frame(stream)?;
+    Frame::decode(&bytes).map_err(|e: CodecError| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Frame;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    fn counters() -> Arc<ParcelCounters> {
+        Arc::new(ParcelCounters::new())
+    }
+
+    fn endpoint(
+        id: usize,
+        tx: mpsc::Sender<(usize, Vec<u8>)>,
+        disconnects: Arc<AtomicUsize>,
+        ctrs: Arc<ParcelCounters>,
+    ) -> EndPoint {
+        EndPoint {
+            id,
+            incoming: Arc::new(move |from, bytes| {
+                let _ = tx.send((from, bytes));
+            }),
+            on_disconnect: Arc::new(move |_| {
+                disconnects.fetch_add(1, Ordering::SeqCst);
+            }),
+            counters: ctrs,
+        }
+    }
+
+    #[test]
+    fn loopback_delivers_frames_and_counts_parcels() {
+        let (tx_a, _rx_a) = mpsc::channel();
+        let (tx_b, rx_b) = mpsc::channel();
+        let dis = Arc::new(AtomicUsize::new(0));
+        let ca = counters();
+        let cb = counters();
+        let (a_to_b, _b_to_a) = loopback_pair(
+            endpoint(0, tx_a, Arc::clone(&dis), Arc::clone(&ca)),
+            endpoint(1, tx_b, Arc::clone(&dis), cb),
+            16,
+        );
+
+        let call = Frame::Call {
+            call_id: 7,
+            origin: 0,
+            action: "echo".into(),
+            args: vec![1, 2, 3],
+        };
+        a_to_b.send(&call).expect("send");
+        let hello = Frame::PeerHello { locality_id: 0 };
+        a_to_b.send(&hello).expect("send");
+
+        let (from, bytes) = rx_b.recv_timeout(Duration::from_secs(5)).expect("frame");
+        assert_eq!(from, 0);
+        assert_eq!(Frame::decode(&bytes).expect("decode"), call);
+        let (_, bytes) = rx_b.recv_timeout(Duration::from_secs(5)).expect("frame");
+        assert_eq!(Frame::decode(&bytes).expect("decode"), hello);
+
+        // Writer-thread delivery is asynchronous; poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ca.sent.get() < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Only the Call counts as a parcel, not the PeerHello.
+        assert_eq!(ca.sent.get(), 1);
+        assert_eq!(ca.bytes_sent.get(), call.encode().len() as u64);
+        assert_eq!(dis.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn severing_one_side_fires_both_disconnect_handlers_once() {
+        let (tx_a, _rx_a) = mpsc::channel();
+        let (tx_b, _rx_b) = mpsc::channel();
+        let dis_a = Arc::new(AtomicUsize::new(0));
+        let dis_b = Arc::new(AtomicUsize::new(0));
+        let (a_to_b, b_to_a) = loopback_pair(
+            endpoint(0, tx_a, Arc::clone(&dis_a), counters()),
+            endpoint(1, tx_b, Arc::clone(&dis_b), counters()),
+            16,
+        );
+
+        a_to_b.sever();
+        a_to_b.sever(); // idempotent
+        assert_eq!(dis_a.load(Ordering::SeqCst), 1);
+        assert_eq!(dis_b.load(Ordering::SeqCst), 1);
+        assert!(matches!(
+            b_to_a.send(&Frame::PeerHello { locality_id: 1 }),
+            Err(SendError::Closed)
+        ));
+    }
+
+    #[test]
+    fn push_times_out_when_queue_stays_full() {
+        let q = SendQueue::new(1);
+        q.push(vec![0u8], false, Duration::from_millis(10))
+            .expect("first push fits");
+        let err = q
+            .push(vec![1u8], false, Duration::from_millis(50))
+            .expect_err("second push must time out");
+        assert_eq!(err, SendError::Backpressure);
+    }
+
+    #[test]
+    fn tcp_pair_roundtrips_frames() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+
+        let (tx_srv, rx_srv) = mpsc::channel::<(usize, Vec<u8>)>();
+        let dis = Arc::new(AtomicUsize::new(0));
+        let dis2 = Arc::clone(&dis);
+        let srv_link = Link::tcp(
+            1,
+            server,
+            Arc::new(move |from, bytes| {
+                let _ = tx_srv.send((from, bytes));
+            }),
+            Arc::new(move |_| {
+                dis2.fetch_add(1, Ordering::SeqCst);
+            }),
+            counters(),
+            16,
+        )
+        .expect("server link");
+
+        let (tx_cli, _rx_cli) = mpsc::channel::<(usize, Vec<u8>)>();
+        let cli_link = Link::tcp(
+            0,
+            client,
+            Arc::new(move |from, bytes| {
+                let _ = tx_cli.send((from, bytes));
+            }),
+            Arc::new(|_| {}),
+            counters(),
+            16,
+        )
+        .expect("client link");
+
+        let reply = Frame::Reply {
+            call_id: 42,
+            outcome: Ok(vec![9, 9]),
+        };
+        cli_link.send(&reply).expect("send");
+        let (from, bytes) = rx_srv.recv_timeout(Duration::from_secs(5)).expect("frame");
+        assert_eq!(from, 1);
+        assert_eq!(Frame::decode(&bytes).expect("decode"), reply);
+
+        // Dropping the client's socket (sever) must fire the server's
+        // disconnect handler via reader EOF.
+        cli_link.sever();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while dis.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(dis.load(Ordering::SeqCst), 1);
+        drop(srv_link);
+    }
+}

@@ -1,0 +1,224 @@
+//! Integration tests for the distribution layer: remote actions over
+//! loopback and TCP worlds, failure settlement, and parcel-counter
+//! balance.
+
+use grain_net::bootstrap::{tcp_join, tcp_root, Fabric};
+use grain_runtime::{RuntimeConfig, TaskError};
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(10);
+
+fn fabric(world: usize) -> Fabric {
+    Fabric::loopback(world, |_| RuntimeConfig::with_workers(2))
+}
+
+#[test]
+fn remote_action_roundtrip() {
+    let f = fabric(2);
+    f.locality(1).register_action("double", |x: u64| x * 2);
+    let fut = f.locality(0).async_remote::<u64, u64>(1, "double", &21);
+    assert_eq!(*fut.wait_timeout(WAIT).expect("settled"), 42);
+    f.shutdown();
+}
+
+#[test]
+fn self_call_uses_the_same_codec_path() {
+    let f = fabric(2);
+    f.locality(0)
+        .register_action("concat", |(a, b): (String, String)| format!("{a}{b}"));
+    let fut = f.locality(0).async_remote::<(String, String), String>(
+        0,
+        "concat",
+        &("foo".to_string(), "bar".to_string()),
+    );
+    assert_eq!(*fut.wait_timeout(WAIT).expect("settled"), "foobar");
+    // The local fast path must not touch the parcel counters.
+    assert_eq!(f.locality(0).parcels().sent.get(), 0);
+    assert_eq!(f.locality(0).parcels().received.get(), 0);
+    f.shutdown();
+}
+
+#[test]
+fn remote_panic_comes_back_as_panicked_not_a_hang() {
+    let f = fabric(2);
+    f.locality(1).register_action("explode", |_x: u64| -> u64 {
+        panic!("remote kaboom");
+    });
+    let fut = f.locality(0).async_remote::<u64, u64>(1, "explode", &1);
+    match fut.wait_timeout(WAIT) {
+        Err(TaskError::Panicked { message }) => {
+            assert!(message.contains("remote kaboom"), "message: {message}")
+        }
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    f.shutdown();
+}
+
+#[test]
+fn unknown_action_names_the_destination() {
+    let f = fabric(2);
+    let fut = f.locality(0).async_remote::<u64, u64>(1, "nope", &1);
+    match fut.wait_timeout(WAIT) {
+        Err(TaskError::Remote { locality, message }) => {
+            assert_eq!(locality, 1);
+            assert!(message.contains("nope"), "message: {message}");
+        }
+        other => panic!("expected Remote, got {other:?}"),
+    }
+    f.shutdown();
+}
+
+#[test]
+fn deferred_action_replies_when_its_future_settles() {
+    let f = fabric(2);
+    // The answer is produced by a task spawned *after* the request
+    // arrives — the reply must wait for it.
+    f.locality(1)
+        .register_deferred_action("slow-add", |rt, (a, b): (u64, u64)| {
+            rt.async_call(move |_cx| {
+                std::thread::sleep(Duration::from_millis(20));
+                a + b
+            })
+        });
+    let fut = f
+        .locality(0)
+        .async_remote::<(u64, u64), u64>(1, "slow-add", &(40, 2));
+    assert_eq!(*fut.wait_timeout(WAIT).expect("settled"), 42);
+    f.shutdown();
+}
+
+#[test]
+fn killing_a_peer_settles_outstanding_futures_with_disconnected() {
+    let f = fabric(2);
+    // Deferred action whose inner future never settles: the reply can
+    // only come from the disconnect sweep.
+    f.locality(1)
+        .register_deferred_action("black-hole", |_rt, _x: u64| {
+            let (_promise, future) = grain_runtime::channel::<u64>();
+            std::mem::forget(_promise); // keep it pending forever
+            future
+        });
+    let fut = f.locality(0).async_remote::<u64, u64>(1, "black-hole", &1);
+    assert!(fut.try_get().is_none(), "must still be pending");
+    f.kill(1);
+    match fut.wait_timeout(WAIT) {
+        Err(e) => {
+            assert_eq!(e, TaskError::Disconnected { locality: 1 });
+            assert!(e.to_string().contains("locality#1"), "display: {e}");
+        }
+        Ok(v) => panic!("expected Disconnected, got value {v:?}"),
+    }
+    // Calls issued after the kill settle immediately, too.
+    let late = f.locality(0).async_remote::<u64, u64>(1, "black-hole", &2);
+    assert!(matches!(
+        late.wait_timeout(WAIT),
+        Err(TaskError::Disconnected { locality: 1 })
+    ));
+    f.shutdown();
+}
+
+#[test]
+fn parcel_counters_balance_at_quiescence() {
+    let world = 3;
+    let f = fabric(world);
+    for k in 0..world {
+        f.locality(k).register_action("bump", |x: u64| x + 1);
+    }
+    // Every locality calls every other locality a few times.
+    let mut futures = Vec::new();
+    for src in 0..world {
+        for dst in 0..world {
+            if src != dst {
+                for i in 0..5u64 {
+                    futures.push(f.locality(src).async_remote::<u64, u64>(dst, "bump", &i));
+                }
+            }
+        }
+    }
+    for fut in &futures {
+        let _ = fut.wait_timeout(WAIT).expect("settled");
+    }
+    // Every call future has settled, so every Call and Reply parcel has
+    // been received and dispatched: the books must balance exactly.
+    let sent: u64 = (0..world).map(|k| f.locality(k).parcels().sent.get()).sum();
+    let received: u64 = (0..world)
+        .map(|k| f.locality(k).parcels().received.get())
+        .sum();
+    assert_eq!(sent, received, "sent {sent} vs received {received}");
+    // 30 calls and 30 replies crossed the fabric.
+    assert_eq!(sent, 60);
+    let bytes_sent: u64 = (0..world)
+        .map(|k| f.locality(k).parcels().bytes_sent.get())
+        .sum();
+    let bytes_received: u64 = (0..world)
+        .map(|k| f.locality(k).parcels().bytes_received.get())
+        .sum();
+    assert_eq!(bytes_sent, bytes_received);
+    // Serialization was sampled once per outbound call.
+    let samples: u64 = (0..world)
+        .map(|k| f.locality(k).parcels().ser_samples.get())
+        .sum();
+    assert_eq!(samples, 30);
+    f.shutdown();
+}
+
+#[test]
+fn counters_appear_in_each_runtime_registry() {
+    let f = fabric(2);
+    f.locality(1).register_action("id", |x: u64| x);
+    let fut = f.locality(0).async_remote::<u64, u64>(1, "id", &7);
+    let _ = fut.wait_timeout(WAIT).expect("settled");
+    // Poll briefly: the writer thread bumps `sent` at delivery, which
+    // may lag the reply by an instant.
+    let deadline = Instant::now() + WAIT;
+    loop {
+        let v = f
+            .locality(0)
+            .runtime()
+            .registry()
+            .query("/parcels{locality#0/total}/count/sent")
+            .expect("counter registered");
+        if v.value >= 1.0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "sent counter never reached 1");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let v = f
+        .locality(1)
+        .runtime()
+        .registry()
+        .query("/parcels{locality#1/total}/count/received")
+        .expect("counter registered");
+    assert!(v.value >= 1.0);
+    f.shutdown();
+}
+
+#[test]
+fn tcp_world_bootstraps_and_serves_actions() {
+    // Three localities in one process, over real sockets on 127.0.0.1.
+    let root = tcp_root("127.0.0.1:0", 3, RuntimeConfig::with_workers(1)).expect("root");
+    let addr = root.listen_addr().to_string();
+    let n1 = tcp_join(&addr, RuntimeConfig::with_workers(1)).expect("join 1");
+    let n2 = tcp_join(&addr, RuntimeConfig::with_workers(1)).expect("join 2");
+
+    assert!(root.wait_for_world(WAIT), "root never saw the full world");
+    assert!(n1.wait_for_world(WAIT), "n1 never saw the full world");
+    assert!(n2.wait_for_world(WAIT), "n2 never saw the full world");
+    assert_eq!(n1.locality().id(), 1);
+    assert_eq!(n2.locality().id(), 2);
+
+    n2.locality().register_action("pow2", |x: u64| x.pow(2));
+    // Peer-to-peer call that does NOT involve the root's link table.
+    let fut = n1.locality().async_remote::<u64, u64>(2, "pow2", &9);
+    assert_eq!(*fut.wait_timeout(WAIT).expect("settled"), 81);
+
+    // And root -> joiner.
+    n1.locality().register_action("succ", |x: u64| x + 1);
+    let fut = root.locality().async_remote::<u64, u64>(1, "succ", &99);
+    assert_eq!(*fut.wait_timeout(WAIT).expect("settled"), 100);
+
+    root.stop_listening();
+    n1.stop_listening();
+    n2.stop_listening();
+}

@@ -45,6 +45,25 @@ pub enum TaskError {
         /// How long the caller waited.
         waited: Duration,
     },
+    /// A remote call failed at the protocol level — the action was not
+    /// registered on the destination, or arguments/results failed to
+    /// decode. Distinct from [`TaskError::Panicked`], which a remote
+    /// *task* fault maps back to: `Remote` means the call never ran (or
+    /// its result never materialized) as a task at all.
+    Remote {
+        /// Locality the call was addressed to.
+        locality: usize,
+        /// What went wrong, as reported by the parcel layer.
+        message: String,
+    },
+    /// The connection to a locality was lost (peer died or was shut
+    /// down) before its reply arrived. Every future still outstanding
+    /// against that locality settles with this error — a dead peer must
+    /// never hang `wait_all`.
+    Disconnected {
+        /// The locality that went away.
+        locality: usize,
+    },
 }
 
 impl TaskError {
@@ -77,6 +96,19 @@ impl PartialEq for TaskError {
             (TaskError::Cancelled, TaskError::Cancelled) => true,
             (TaskError::BrokenPromise, TaskError::BrokenPromise) => true,
             (TaskError::Timeout { waited: a }, TaskError::Timeout { waited: b }) => a == b,
+            (
+                TaskError::Remote {
+                    locality: a,
+                    message: am,
+                },
+                TaskError::Remote {
+                    locality: b,
+                    message: bm,
+                },
+            ) => a == b && am == bm,
+            (TaskError::Disconnected { locality: a }, TaskError::Disconnected { locality: b }) => {
+                a == b
+            }
             _ => false,
         }
     }
@@ -92,6 +124,15 @@ impl fmt::Display for TaskError {
             TaskError::Cancelled => write!(f, "task cancelled before running"),
             TaskError::BrokenPromise => write!(f, "promise dropped without a value"),
             TaskError::Timeout { waited } => write!(f, "timed out after {waited:?}"),
+            TaskError::Remote { locality, message } => {
+                write!(f, "remote call failed on locality#{locality}: {message}")
+            }
+            TaskError::Disconnected { locality } => {
+                write!(
+                    f,
+                    "connection to locality#{locality} lost before the reply arrived"
+                )
+            }
         }
     }
 }

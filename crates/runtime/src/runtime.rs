@@ -44,6 +44,13 @@ pub struct RuntimeConfig {
     /// starts one that samples progress every `interval` and reports
     /// stalls (see [`WatchdogConfig`] and `/runtime/watchdog/*`).
     pub watchdog: Option<WatchdogConfig>,
+    /// Id of the locality this runtime represents (default 0, the root).
+    /// Parameterizes every registered counter path — a runtime on
+    /// locality 3 exposes `/threads{locality#3/total}/…` — so a
+    /// multi-locality deployment gets a disjoint counter namespace per
+    /// process/locality (the namespace HPX's distributed monitoring
+    /// queries).
+    pub locality_id: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -58,6 +65,7 @@ impl Default for RuntimeConfig {
             trace: false,
             fault_plan: None,
             watchdog: None,
+            locality_id: 0,
         }
     }
 }
@@ -761,8 +769,11 @@ impl Runtime {
         let scheduler = Scheduler::new(numa, config.scheduler, config.high_queues);
         let counters = ThreadCounters::new(config.workers);
         let registry = Registry::new();
+        // Every counter path is parameterized by the configured locality
+        // id so non-root localities expose a correct, disjoint namespace.
+        let t = grain_counters::CounterPath::total_instance_for(config.locality_id);
         counters
-            .register(&registry)
+            .register_at(&registry, config.locality_id)
             .expect("fresh registry cannot have duplicates");
         // Instantaneous queue-length counters (not in the paper's list but
         // part of HPX's monitoring surface; useful for load introspection).
@@ -771,7 +782,7 @@ impl Runtime {
             let q = std::sync::Arc::clone(&scheduler.queues);
             registry
                 .register(
-                    "/threads{locality#0/total}/count/staged-queue-length",
+                    &format!("/threads{{{t}}}/count/staged-queue-length"),
                     DerivedCounter::new(Unit::Count, move || {
                         q.workers.iter().map(|d| d.staged.len()).sum::<usize>() as f64
                     }),
@@ -780,7 +791,7 @@ impl Runtime {
             let q = std::sync::Arc::clone(&scheduler.queues);
             registry
                 .register(
-                    "/threads{locality#0/total}/count/pending-queue-length",
+                    &format!("/threads{{{t}}}/count/pending-queue-length"),
                     DerivedCounter::new(Unit::Count, move || {
                         q.workers.iter().map(|d| d.pending.len()).sum::<usize>() as f64
                     }),
@@ -795,7 +806,6 @@ impl Runtime {
         {
             use grain_counters::registry::RawView;
             let stats = scheduler.queues.stats();
-            let t = "locality#0/total";
             registry
                 .register(
                     &format!("/threads{{{t}}}/queue/cas-retries"),
@@ -816,7 +826,6 @@ impl Runtime {
         };
         {
             use grain_counters::registry::RawView;
-            let t = grain_counters::CounterPath::total_instance();
             for (name, c) in [
                 ("checks", &watchdog.checks),
                 ("stalls", &watchdog.stalls),
@@ -1002,6 +1011,12 @@ impl Runtime {
     /// Number of workers.
     pub fn num_workers(&self) -> usize {
         self.inner.counters.workers()
+    }
+
+    /// Id of the locality this runtime represents (see
+    /// [`RuntimeConfig::locality_id`]).
+    pub fn locality_id(&self) -> usize {
+        self.inner.config.locality_id
     }
 
     /// Tasks currently in flight (staged + pending + active + suspended).

@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dag;
+pub mod distributed;
 pub mod futurized;
 pub mod heat;
 pub mod params;
@@ -38,6 +39,7 @@ pub mod sequential;
 pub mod suspending;
 
 pub use dag::stencil_workload;
+pub use distributed::{run_distributed_loopback, DistStencil};
 pub use futurized::{
     collect_result, partition_grid, run_futurized, run_steps_from, spawn_stencil, step_partitions,
 };

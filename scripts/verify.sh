@@ -46,15 +46,32 @@ grep -q '^OK$' results/queue_bench.txt || {
     exit 1
 }
 
+echo "==> dist smoke"
+# The distribution layer end to end: a 2-locality in-process stencil
+# must be bit-identical to the single-runtime run (asserted inside the
+# test), then a bounded dist_bench sweep re-checks correctness against
+# the oracle and the sent==received parcel balance per configuration.
+cargo test --offline -q --test distributed
+cargo run --release -p grain-bench --bin dist_bench --offline -- --quick \
+    | tee results/dist_bench.txt
+grep -q '^OK$' results/dist_bench.txt || {
+    echo "dist_bench did not complete" >&2
+    exit 1
+}
+
 echo "==> unwrap-free hot paths"
 # The worker dispatch loop, the scheduler search, the lock-free queue,
 # the service dispatcher, and the overload path (admission + pressure)
 # must not use unwrap(): a poisoned-lock or bad-option unwrap there
 # takes down a worker or wedges every tenant.
 # Enforced by clippy at deny level; assert the attributes stay in place.
+# The parcelport and wire codec join the list: an unwrap there lets one
+# hostile or truncated frame take down a network thread (and with it
+# every future routed over that link).
 for f in crates/runtime/src/worker.rs crates/runtime/src/queue.rs \
     crates/runtime/src/scheduler.rs crates/service/src/service.rs \
-    crates/service/src/admission.rs crates/service/src/pressure.rs; do
+    crates/service/src/admission.rs crates/service/src/pressure.rs \
+    crates/net/src/parcelport.rs crates/net/src/codec.rs; do
     grep -q 'deny(clippy::unwrap_used)' "$f" || {
         echo "missing #![deny(clippy::unwrap_used)] in $f" >&2
         exit 1

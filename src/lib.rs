@@ -8,6 +8,7 @@
 pub use grain_adaptive as adaptive;
 pub use grain_counters as counters;
 pub use grain_metrics as metrics;
+pub use grain_net as net;
 pub use grain_runtime as runtime;
 pub use grain_service as service;
 pub use grain_sim as sim;
