@@ -22,11 +22,13 @@
 //!
 //! Flags: `--quick` (bounded shapes for the CI smoke stage).
 
+use grain_metrics::{append_snapshot, BenchSnapshot, JsonValue};
 use grain_net::bootstrap::Fabric;
 use grain_runtime::Runtime;
 use grain_runtime::RuntimeConfig;
 use grain_stencil::distributed::DistStencil;
 use grain_stencil::{run_futurized, StencilParams};
+use std::path::Path;
 use std::time::Instant;
 
 /// One sweep configuration: world size and partition count at fixed
@@ -36,7 +38,7 @@ struct Case {
     np: usize,
 }
 
-fn run_case(total_points: usize, nt: usize, case: &Case) {
+fn run_case(total_points: usize, nt: usize, case: &Case) -> JsonValue {
     let nx = (total_points / case.np).max(1);
     let params = StencilParams::new(nx, case.np, nt);
 
@@ -105,6 +107,15 @@ fn run_case(total_points: usize, nt: usize, case: &Case) {
     );
     assert_eq!(sent, received, "parcel books must balance at quiescence");
     fabric.shutdown();
+    JsonValue::Obj(vec![
+        ("world".to_owned(), case.world.into()),
+        ("np".to_owned(), case.np.into()),
+        ("nx".to_owned(), nx.into()),
+        ("wall_s".to_owned(), wall.as_secs_f64().into()),
+        ("parcels".to_owned(), sent.into()),
+        ("bytes_sent".to_owned(), bytes.into()),
+        ("avg_ser_ns".to_owned(), avg_ser.into()),
+    ])
 }
 
 fn main() {
@@ -150,8 +161,23 @@ fn main() {
     };
     println!("total points {total_points}, {nt} time steps; result checked against the single-runtime oracle each case");
     println!();
+    let mut rows = Vec::new();
     for case in &cases {
-        run_case(total_points, nt, case);
+        rows.push(run_case(total_points, nt, case));
+    }
+    let snap = BenchSnapshot::new("dist")
+        .config("quick", quick)
+        .config("total_points", total_points)
+        .config("nt", nt)
+        .config(
+            "host_parallelism",
+            std::thread::available_parallelism().map_or(0, |n| n.get()),
+        )
+        .metric("cases", JsonValue::Arr(rows));
+    let out = Path::new("results/BENCH_dist.json");
+    match append_snapshot(out, &snap) {
+        Ok(()) => println!("\nrecorded snapshot -> {}", out.display()),
+        Err(e) => eprintln!("\nwarning: could not record {}: {e}", out.display()),
     }
     println!();
     println!("OK");

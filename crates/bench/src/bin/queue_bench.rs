@@ -31,9 +31,11 @@
 //! Flags: `--quick` (bounded iterations for the CI smoke stage),
 //! `--no-sweep` (Section A only).
 
+use grain_metrics::{append_snapshot, BenchSnapshot, JsonValue};
 use grain_runtime::queue::{MutexQueue, SegmentedQueue};
 use grain_runtime::{Runtime, RuntimeConfig};
 use grain_stencil::{run_futurized, StencilParams};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -168,7 +170,7 @@ fn mops(v: f64) -> String {
     format!("{:>9.2}", v / 1e6)
 }
 
-fn section_a(quick: bool) {
+fn section_a(quick: bool) -> f64 {
     let per_thread: u64 = if quick { 25_000 } else { 100_000 };
     let drain: u64 = if quick { 100_000 } else { 400_000 };
 
@@ -254,6 +256,7 @@ fn section_a(quick: bool) {
              Section B for the end-to-end overhead comparison this host can measure."
         );
     }
+    worst_4plus
 }
 
 fn query(rt: &Runtime, path: &str) -> Option<f64> {
@@ -267,7 +270,7 @@ fn median(xs: &mut [f64]) -> f64 {
     xs[(xs.len() - 1) / 2]
 }
 
-fn section_b(quick: bool) {
+fn section_b(quick: bool) -> (bool, Vec<JsonValue>) {
     let total = if quick { 50_000 } else { 200_000 };
     let nt = 5;
     let workers = 4;
@@ -290,6 +293,7 @@ fn section_b(quick: bool) {
         "nx", "tasks", "t_o med(ns)", "t_o min(ns)", "idle", "wall(ms)", "cas-retry", "segments"
     );
     let mut lockfree_runtime = false;
+    let mut rows: Vec<JsonValue> = Vec::new();
     for &nx in grid {
         let params = StencilParams::for_total(total, nx, nt);
         let mut overheads = Vec::new();
@@ -330,6 +334,7 @@ fn section_b(quick: bool) {
         } else {
             format!("{:.1}%", 100.0 * median(&mut idles))
         };
+        let wall_med = median(&mut walls);
         println!(
             "{:<8} {:>8} {:>12} {:>12} {:>8} {:>10.1} {:>12.0} {:>10.0}",
             nx,
@@ -337,10 +342,31 @@ fn section_b(quick: bool) {
             o_med,
             o_min,
             idle,
-            median(&mut walls),
+            wall_med,
             cas_total / reps as f64,
             segs_total / reps as f64,
         );
+        rows.push(JsonValue::Obj(vec![
+            ("nx".to_owned(), nx.into()),
+            ("tasks".to_owned(), params.total_tasks().into()),
+            (
+                "t_o_med_ns".to_owned(),
+                JsonValue::Num(if overheads.is_empty() {
+                    f64::NAN
+                } else {
+                    median(&mut overheads)
+                }),
+            ),
+            (
+                "idle_rate".to_owned(),
+                JsonValue::Num(if idles.is_empty() {
+                    f64::NAN
+                } else {
+                    median(&mut idles)
+                }),
+            ),
+            ("wall_ms".to_owned(), wall_med.into()),
+        ]));
     }
     println!();
     println!(
@@ -351,6 +377,7 @@ fn section_b(quick: bool) {
             "mutex (MutexQueue; built with --features grain-runtime/mutex-queue)"
         }
     );
+    (lockfree_runtime, rows)
 }
 
 fn main() {
@@ -371,9 +398,24 @@ fn main() {
         "host parallelism: {}",
         std::thread::available_parallelism().map_or(0, |n| n.get())
     );
-    section_a(quick);
+    let worst_4plus = section_a(quick);
+    let mut snap = BenchSnapshot::new("queue")
+        .config("quick", quick)
+        .config(
+            "host_parallelism",
+            std::thread::available_parallelism().map_or(0, |n| n.get()),
+        )
+        .metric("worst_pairs_steal_speedup_4t", worst_4plus);
     if sweep {
-        section_b(quick);
+        let (lockfree, rows) = section_b(quick);
+        snap = snap
+            .config("queue", if lockfree { "lockfree" } else { "mutex" })
+            .metric("stencil_sweep", JsonValue::Arr(rows));
+    }
+    let out = Path::new("results/BENCH_queue.json");
+    match append_snapshot(out, &snap) {
+        Ok(()) => println!("\nrecorded snapshot -> {}", out.display()),
+        Err(e) => eprintln!("\nwarning: could not record {}: {e}", out.display()),
     }
     println!();
     println!("OK");

@@ -35,7 +35,9 @@ use grain_service::{
     AdmissionConfig, FailurePolicy, JobHandle, JobService, JobSpec, JobState, RejectReason,
     ServiceConfig,
 };
-use grain_sim::storm::{StormPlan, TenantStorm};
+use grain_sim::storm::{GraphFamily, StormPlan, TenantStorm};
+use grain_taskbench::{storm as shapes, Calibration};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Real wall-clock time per virtual second of storm time.
@@ -60,7 +62,11 @@ fn spin_for(d: Duration) {
 
 /// The storm cast: two well-behaved deadline tenants at a combined ~2×
 /// the two-worker drain rate, one flooding tenant that panics during
-/// the first 60 % of the horizon and then recovers.
+/// the first 60 % of the horizon and then recovers. The well-behaved
+/// tenants submit *graph-shaped* jobs (a taskbench stencil and tree
+/// reduce-broadcast respectively), so shedding and breakers are
+/// exercised against dependency-structured work, not just flat spawn
+/// loops; chaos keeps the legacy flat shape.
 fn profiles() -> Vec<TenantStorm> {
     vec![
         TenantStorm::steady(
@@ -69,14 +75,16 @@ fn profiles() -> Vec<TenantStorm> {
             (2, 8),
             (Duration::from_millis(10), Duration::from_millis(25)),
         )
-        .deadline(Duration::from_secs(2)),
+        .deadline(Duration::from_secs(2))
+        .family(GraphFamily::Stencil),
         TenantStorm::steady(
             "beta",
             Duration::from_millis(80),
             (4, 12),
             (Duration::from_millis(15), Duration::from_millis(30)),
         )
-        .deadline(Duration::from_secs(3)),
+        .deadline(Duration::from_secs(3))
+        .family(GraphFamily::Tree),
         TenantStorm::steady(
             "chaos",
             Duration::from_millis(25),
@@ -139,15 +147,25 @@ fn run_pass(label: &'static str, plan: &StormPlan, resilience: bool) -> PassRepo
     config.breaker.open_for = Duration::from_millis(40);
     config.breaker.probe_every = Duration::from_millis(5);
     let service = JobService::new(config);
+    let cal = Calibration::quick();
 
     let t0 = Instant::now();
     let mut handles: Vec<(String, JobHandle)> = Vec::new();
-    for e in &plan.events {
+    for (idx, e) in plan.events.iter().enumerate() {
         let due = real(e.at);
         if let Some(sleep) = due.checked_sub(t0.elapsed()) {
             std::thread::sleep(sleep);
         }
-        let mut spec = JobSpec::new(e.name.clone(), e.tenant.clone()).estimated_tasks(e.tasks + 1);
+        let grain = real(e.grain);
+        // Family tenants run a taskbench graph of ~`tasks` nodes at the
+        // same per-task grain; `Flat` keeps the legacy spawn loop. The
+        // shape depends only on the (deterministic) plan, so replays
+        // resubmit identical bodies.
+        let graph = shapes::spec_for_event(e.family, e.tasks, cal.iters_for(grain), 32, idx as u64)
+            .map(|s| Arc::new(s.build()));
+        let estimated = graph.as_ref().map_or(e.tasks, |g| g.len() as u64);
+        let mut spec =
+            JobSpec::new(e.name.clone(), e.tenant.clone()).estimated_tasks(estimated + 1);
         if let Some(d) = e.deadline {
             spec = spec.deadline(real(d));
         }
@@ -160,13 +178,17 @@ fn run_pass(label: &'static str, plan: &StormPlan, resilience: bool) -> PassRepo
         }
         let faulty = e.faulty;
         let tasks = e.tasks;
-        let grain = real(e.grain);
         let handle = service.submit(spec, move |ctx| {
             if faulty {
                 panic!("storm-planned fault");
             }
-            for _ in 0..tasks {
-                ctx.spawn(move |_| spin_for(grain));
+            match &graph {
+                Some(g) => shapes::spawn_in_job(ctx, g),
+                None => {
+                    for _ in 0..tasks {
+                        ctx.spawn(move |_| spin_for(grain));
+                    }
+                }
             }
         });
         handles.push((e.tenant.clone(), handle));

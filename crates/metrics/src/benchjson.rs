@@ -1,0 +1,355 @@
+//! `BENCH_*.json` — the recorded perf trajectory.
+//!
+//! Every bench binary appends one machine-readable snapshot per run to
+//! a `results/BENCH_<bench>.json` file, all sharing one schema:
+//!
+//! ```json
+//! [
+//! {"bench":"taskbench","commit":"abc1234","config":{...},"metrics":{...}}
+//! ]
+//! ```
+//!
+//! The file as a whole is always a **valid JSON array**; appending keeps
+//! prior entries, so committing the file across PRs records a
+//! before/after trajectory for every scheduler or transport change.
+//!
+//! The writer is deliberately minimal (std-only, no serde): snapshots
+//! are built from [`JsonValue`]s, each entry is emitted on its own line,
+//! and [`append_snapshot`] manipulates the file line-wise — it only
+//! needs to recognize the layout it wrote itself. A file that does not
+//! look like that layout (hand-edited, truncated) is started fresh
+//! rather than corrupted further.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A minimal JSON value: just enough for bench snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string (escaped on output).
+    Str(String),
+    /// A finite number (non-finite values are emitted as `null`).
+    Num(f64),
+    /// An integer, emitted without a decimal point.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered list.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Num(x)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(x: u64) -> Self {
+        // Perf counters fit i64 in practice; saturate rather than wrap.
+        JsonValue::Int(i64::try_from(x).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(x: u32) -> Self {
+        JsonValue::Int(i64::from(x))
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(x: usize) -> Self {
+        JsonValue::Int(i64::try_from(x).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(x: i64) -> Self {
+        JsonValue::Int(x)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(x: bool) -> Self {
+        JsonValue::Bool(x)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl JsonValue {
+    /// Render compactly (no whitespace) into `out`.
+    fn render(&self, out: &mut String) {
+        match self {
+            JsonValue::Str(s) => escape_into(out, s),
+            JsonValue::Num(x) if x.is_finite() => {
+                let _ = write!(out, "{x}");
+            }
+            JsonValue::Num(_) => out.push_str("null"),
+            JsonValue::Int(x) => {
+                let _ = write!(out, "{x}");
+            }
+            JsonValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Render to a compact single-line string.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s);
+        s
+    }
+}
+
+/// One perf-trajectory entry: the shared
+/// `{bench, commit, config, metrics}` schema.
+#[derive(Debug, Clone)]
+pub struct BenchSnapshot {
+    /// Bench name (`"taskbench"`, `"queue"`, `"dist"`, …).
+    pub bench: String,
+    /// Abbreviated git commit of the tree that produced the numbers
+    /// (see [`git_commit`]), or `"unknown"`.
+    pub commit: String,
+    /// The knob settings that produced the numbers.
+    pub config: Vec<(String, JsonValue)>,
+    /// The numbers.
+    pub metrics: Vec<(String, JsonValue)>,
+}
+
+impl BenchSnapshot {
+    /// A snapshot stamped with the current git commit.
+    pub fn new(bench: &str) -> Self {
+        Self {
+            bench: bench.to_owned(),
+            commit: git_commit(),
+            config: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Add a config field (builder-style).
+    pub fn config(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.config.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Add a metric field (builder-style).
+    pub fn metric(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.metrics.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// The entry as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        JsonValue::Obj(vec![
+            ("bench".to_owned(), JsonValue::Str(self.bench.clone())),
+            ("commit".to_owned(), JsonValue::Str(self.commit.clone())),
+            ("config".to_owned(), JsonValue::Obj(self.config.clone())),
+            ("metrics".to_owned(), JsonValue::Obj(self.metrics.clone())),
+        ])
+        .to_json()
+    }
+}
+
+/// Append `snap` to the JSON-array file at `path`, creating it (and its
+/// parent directory) if needed. Entries this module wrote before are
+/// preserved; a file not in this module's one-entry-per-line layout is
+/// replaced by a fresh single-entry array.
+pub fn append_snapshot(path: &Path, snap: &BenchSnapshot) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut entries: Vec<String> = match std::fs::read_to_string(path) {
+        Ok(text) => parse_entries(&text).unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+    entries.push(snap.to_json());
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str("\n,");
+        }
+        out.push_str(e);
+    }
+    out.push_str("\n]\n");
+    std::fs::write(path, out)
+}
+
+/// Recover the entry lines from a file this module wrote: `[`, one
+/// object per line (`,`-prefixed after the first), `]`. Returns `None`
+/// for anything else.
+fn parse_entries(text: &str) -> Option<Vec<String>> {
+    let mut lines = text.lines();
+    if lines.next()?.trim() != "[" {
+        return None;
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line == "]" {
+            return Some(entries);
+        }
+        let entry = line.strip_prefix(',').unwrap_or(line).trim();
+        if !(entry.starts_with('{') && entry.ends_with('}')) {
+            return None;
+        }
+        entries.push(entry.to_owned());
+    }
+    None
+}
+
+/// The abbreviated git commit of the working tree, or `"unknown"` when
+/// git is unavailable (bench artifacts must never fail on this).
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("grain-benchjson-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn values_render_compact_json() {
+        let v = JsonValue::Obj(vec![
+            ("a".into(), JsonValue::Int(3)),
+            (
+                "b".into(),
+                JsonValue::Arr(vec![JsonValue::Bool(true), JsonValue::Num(0.5)]),
+            ),
+            ("c".into(), JsonValue::Str("x\"y\n".into())),
+        ]);
+        assert_eq!(v.to_json(), r#"{"a":3,"b":[true,0.5],"c":"x\"y\n"}"#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn snapshot_has_the_shared_schema() {
+        let s = BenchSnapshot {
+            bench: "demo".into(),
+            commit: "abc".into(),
+            config: vec![("n".into(), 4u64.into())],
+            metrics: vec![("wall_s".into(), 1.5.into())],
+        };
+        assert_eq!(
+            s.to_json(),
+            r#"{"bench":"demo","commit":"abc","config":{"n":4},"metrics":{"wall_s":1.5}}"#
+        );
+    }
+
+    #[test]
+    fn append_accumulates_and_stays_line_parseable() {
+        let path = tmpfile("append.json");
+        let snap = BenchSnapshot {
+            bench: "demo".into(),
+            commit: "abc".into(),
+            config: vec![],
+            metrics: vec![("x".into(), 1u64.into())],
+        };
+        append_snapshot(&path, &snap).expect("first append");
+        append_snapshot(&path, &snap).expect("second append");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let entries = parse_entries(&text).expect("own layout parses");
+        assert_eq!(entries.len(), 2);
+        assert!(text.starts_with("[\n"));
+        assert!(text.ends_with("\n]\n"));
+    }
+
+    #[test]
+    fn malformed_files_are_restarted_not_corrupted() {
+        let path = tmpfile("malformed.json");
+        std::fs::write(&path, "not json at all").expect("seed garbage");
+        let snap = BenchSnapshot {
+            bench: "demo".into(),
+            commit: "abc".into(),
+            config: vec![],
+            metrics: vec![],
+        };
+        append_snapshot(&path, &snap).expect("append over garbage");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(parse_entries(&text).expect("fresh layout").len(), 1);
+    }
+
+    #[test]
+    fn git_commit_never_panics() {
+        let c = git_commit();
+        assert!(!c.is_empty());
+    }
+}

@@ -18,6 +18,46 @@
 use crate::rng::Pcg32;
 use std::time::Duration;
 
+/// The dependency-graph family a tenant's job bodies are drawn from.
+///
+/// This is a pure *description* — the plan stays agnostic of how jobs
+/// execute. [`GraphFamily::Flat`] is the historical shape (the root
+/// spawns `tasks` independent children); the other variants name the
+/// `grain-taskbench` graph families, which the soak harness expands
+/// into real task DAGs. The family is per-tenant configuration, not a
+/// per-event draw, so adding or changing families never perturbs the
+/// seeded arrival/shape streams of existing plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GraphFamily {
+    /// `tasks` independent children of the root (the legacy shape).
+    #[default]
+    Flat,
+    /// 1-D stencil halo graph.
+    Stencil,
+    /// FFT butterfly graph.
+    Butterfly,
+    /// Tree reduce-then-broadcast graph.
+    Tree,
+    /// Seeded random DAG.
+    RandomDag,
+    /// Embarrassingly-parallel sweep (independent chains).
+    Sweep,
+}
+
+impl GraphFamily {
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphFamily::Flat => "flat",
+            GraphFamily::Stencil => "stencil",
+            GraphFamily::Butterfly => "butterfly",
+            GraphFamily::Tree => "tree",
+            GraphFamily::RandomDag => "random-dag",
+            GraphFamily::Sweep => "sweep",
+        }
+    }
+}
+
 /// One tenant's storm profile: its arrival process, job shape, and
 /// (optionally) the window during which its jobs fault.
 #[derive(Debug, Clone)]
@@ -35,6 +75,9 @@ pub struct TenantStorm {
     /// Fraction of the horizon `[start, end)` (both in `0.0..=1.0`)
     /// during which this tenant's jobs panic instead of working.
     pub fault_window: Option<(f64, f64)>,
+    /// Dependency-graph family this tenant's job bodies use. Defaults
+    /// to [`GraphFamily::Flat`] (the historical shape).
+    pub family: GraphFamily,
 }
 
 impl TenantStorm {
@@ -52,6 +95,7 @@ impl TenantStorm {
             grain,
             deadline: None,
             fault_window: None,
+            family: GraphFamily::Flat,
         }
     }
 
@@ -64,6 +108,12 @@ impl TenantStorm {
     /// Make jobs submitted inside `[start, end)` of the horizon panic.
     pub fn faulting_during(mut self, start: f64, end: f64) -> Self {
         self.fault_window = Some((start, end));
+        self
+    }
+
+    /// Draw this tenant's job bodies from a dependency-graph family.
+    pub fn family(mut self, family: GraphFamily) -> Self {
+        self.family = family;
         self
     }
 }
@@ -85,6 +135,9 @@ pub struct StormEvent {
     pub deadline: Option<Duration>,
     /// Whether this job panics instead of completing its work.
     pub faulty: bool,
+    /// Dependency-graph family of the job body (copied from the
+    /// tenant's profile; consumes no randomness).
+    pub family: GraphFamily,
 }
 
 /// A full, deterministic storm: every event of every tenant, merged and
@@ -141,6 +194,7 @@ impl StormPlan {
                     grain: Duration::from_nanos(grain_ns),
                     deadline: t.deadline,
                     faulty,
+                    family: t.family,
                 });
                 n += 1;
             }
@@ -245,6 +299,29 @@ mod tests {
         let alpha_a: Vec<_> = a.of_tenant("alpha").cloned().collect();
         let alpha_b: Vec<_> = b.of_tenant("alpha").cloned().collect();
         assert_eq!(alpha_a, alpha_b);
+    }
+
+    #[test]
+    fn families_ride_along_without_perturbing_streams() {
+        let plain = StormPlan::generate(21, Duration::from_secs(4), &three_tenants());
+        let mut shaped = three_tenants();
+        shaped[0] = shaped[0].clone().family(GraphFamily::Stencil);
+        shaped[1] = shaped[1].clone().family(GraphFamily::Tree);
+        let with_families = StormPlan::generate(21, Duration::from_secs(4), &shaped);
+        assert_eq!(plain.events.len(), with_families.events.len());
+        for (a, b) in plain.events.iter().zip(&with_families.events) {
+            // Identical arrivals and shapes — the family consumed no
+            // randomness — only the family label differs.
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.tasks, b.tasks);
+            assert_eq!(a.grain, b.grain);
+            assert_eq!(a.faulty, b.faulty);
+        }
+        assert!(with_families
+            .of_tenant("alpha")
+            .all(|e| e.family == GraphFamily::Stencil));
+        assert!(plain.events.iter().all(|e| e.family == GraphFamily::Flat));
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! # grain-taskbench — a parameterized dependency-graph workload generator
+//!
+//! The paper characterizes task-size overheads with one application (the
+//! 1-D stencil), so every conclusion is a single curve. This crate, in
+//! the spirit of Task Bench, turns that curve into a **surface**: a
+//! deterministic, seeded generator of dependency graphs parameterized by
+//!
+//! * **graph family** ([`GraphKind`]): 1-D stencil halo, FFT butterfly,
+//!   tree reduce-broadcast, seeded random DAG, embarrassingly-parallel
+//!   sweep;
+//! * **task grain** ([`GraphSpec::grain_iters`]): busy-work iterations
+//!   per task, mapped to durations via host [`Calibration`];
+//! * **communication volume** ([`GraphSpec::payload_bytes`]): bytes
+//!   carried per dependency edge.
+//!
+//! One immutable [`TaskGraph`] description feeds three executors:
+//!
+//! * [`exec_local`] — single runtime, via `dataflow`/futures;
+//! * [`exec_service`] — as a [`grain_service::JobService`] job, so
+//!   storms get realistic heterogeneous tenant shapes;
+//! * [`exec_net`] — across grain-net localities, with edges that cross
+//!   a partition boundary traveling as parcels (payload bytes on the
+//!   wire).
+//!
+//! Every node computes a pure function of the graph description
+//! ([`work`]), so all three executors — and the sequential reference
+//! [`TaskGraph::checksum_reference`] — produce bit-identical checksums;
+//! the cross-executor equivalence test pins that down. Runs emit the
+//! paper's Eq. 1–6 metrics through `grain_metrics::RunRecord`
+//! ([`measure_local`]) so the granularity characterization becomes a
+//! (graph × grain × comm) surface in the same units as the paper's
+//! figures.
+//!
+//! ```
+//! use grain_taskbench::{GraphKind, GraphSpec};
+//! use grain_runtime::Runtime;
+//!
+//! let spec = GraphSpec::shape(GraphKind::Butterfly { width: 8 }, 42)
+//!     .grain(100)
+//!     .payload(64);
+//! let graph = spec.build();
+//! let rt = Runtime::with_workers(2);
+//! let sum = grain_taskbench::exec_local::run_local(&rt, &graph).expect("run settles");
+//! assert_eq!(sum, graph.checksum_reference());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod exec_local;
+pub mod exec_net;
+pub mod exec_service;
+pub mod graph;
+pub mod storm;
+pub mod work;
+
+pub use exec_local::{measure_local, run_local, MeasuredRun};
+pub use exec_net::{run_distributed_loopback, DistTaskBench};
+pub use exec_service::run_service_job;
+pub use graph::{all_kinds, Edge, GraphKind, GraphSpec, Node, TaskGraph};
+pub use work::Calibration;

@@ -59,6 +59,20 @@ grep -q '^OK$' results/dist_bench.txt || {
     exit 1
 }
 
+echo "==> taskbench smoke"
+# The dependency-graph workload surface end to end: five graph families
+# generated from one seed, swept over grain and payload on the local
+# executor with Eqs. 1-6 emitted per cell, then one random DAG checked
+# for checksum equality across all three executors (runtime / service /
+# 2 loopback localities; asserted internally, non-zero exit on
+# divergence) and the run appended to results/BENCH_taskbench.json.
+cargo run --release -p grain-bench --bin taskbench --offline -- --quick \
+    | tee results/taskbench.txt
+grep -q '^OK$' results/taskbench.txt || {
+    echo "taskbench did not complete" >&2
+    exit 1
+}
+
 echo "==> unwrap-free hot paths"
 # The worker dispatch loop, the scheduler search, the lock-free queue,
 # the service dispatcher, and the overload path (admission + pressure)
@@ -67,11 +81,15 @@ echo "==> unwrap-free hot paths"
 # Enforced by clippy at deny level; assert the attributes stay in place.
 # The parcelport and wire codec join the list: an unwrap there lets one
 # hostile or truncated frame take down a network thread (and with it
-# every future routed over that link).
+# every future routed over that link). So do the taskbench generator and
+# executors: a panic inside a node task or the edge board poisons a
+# whole measured sweep (and, distributed, wedges remote edge waiters).
 for f in crates/runtime/src/worker.rs crates/runtime/src/queue.rs \
     crates/runtime/src/scheduler.rs crates/service/src/service.rs \
     crates/service/src/admission.rs crates/service/src/pressure.rs \
-    crates/net/src/parcelport.rs crates/net/src/codec.rs; do
+    crates/net/src/parcelport.rs crates/net/src/codec.rs \
+    crates/taskbench/src/graph.rs crates/taskbench/src/exec_local.rs \
+    crates/taskbench/src/exec_service.rs crates/taskbench/src/exec_net.rs; do
     grep -q 'deny(clippy::unwrap_used)' "$f" || {
         echo "missing #![deny(clippy::unwrap_used)] in $f" >&2
         exit 1

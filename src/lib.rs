@@ -13,4 +13,5 @@ pub use grain_runtime as runtime;
 pub use grain_service as service;
 pub use grain_sim as sim;
 pub use grain_stencil as stencil;
+pub use grain_taskbench as taskbench;
 pub use grain_topology as topology;

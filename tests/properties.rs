@@ -591,6 +591,97 @@ fn codec_corruption_never_panics() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Taskbench graph-generator properties (grain-taskbench)
+// ---------------------------------------------------------------------
+
+use grain::taskbench::{GraphKind, GraphSpec};
+
+/// Draw a random graph spec covering every family with bounded shapes.
+fn draw_spec(rng: &mut Pcg32) -> GraphSpec {
+    let kind = match rng.range_u64(5) {
+        0 => GraphKind::Stencil1d {
+            width: draw(rng, 1, 12),
+            steps: draw(rng, 0, 10),
+        },
+        1 => GraphKind::Butterfly {
+            width: draw(rng, 1, 33),
+        },
+        2 => GraphKind::TreeReduce {
+            leaves: draw(rng, 1, 40),
+            fanout: draw(rng, 2, 5),
+        },
+        3 => GraphKind::RandomDag {
+            width: draw(rng, 1, 10),
+            steps: draw(rng, 0, 10),
+            max_deps: draw(rng, 1, 5),
+        },
+        _ => GraphKind::Sweep {
+            width: draw(rng, 1, 12),
+            steps: draw(rng, 0, 10),
+        },
+    };
+    GraphSpec::shape(kind, rng.next_u64())
+        .grain(rng.range_u64(100))
+        .payload(rng.range_u64(512) as u32)
+}
+
+/// The same seed reproduces the graph bit-identically — nodes, edges,
+/// and per-edge payload sizes — while a different seed changes the
+/// fingerprint.
+#[test]
+fn taskbench_same_seed_rebuilds_identical_graphs() {
+    let mut rng = Pcg32::seed_from_u64(0x6EA9);
+    for case in 0..32 {
+        let spec = draw_spec(&mut rng);
+        let a = spec.build();
+        let b = spec.build();
+        let ctx = format!("case {case}: {spec:?}");
+        assert_eq!(a.nodes, b.nodes, "{ctx}");
+        assert_eq!(a.edges, b.edges, "{ctx}: edges (incl. payload sizes)");
+        assert_eq!(a.fingerprint(), b.fingerprint(), "{ctx}");
+        assert_eq!(a.checksum_reference(), b.checksum_reference(), "{ctx}");
+        let reseeded = GraphSpec {
+            seed: spec.seed ^ 1,
+            ..spec
+        }
+        .build();
+        assert_ne!(a.fingerprint(), reseeded.fingerprint(), "{ctx}: reseed");
+    }
+}
+
+/// Every generated graph is acyclic (edges go strictly forward, between
+/// adjacent levels) and width-bounded: no level is wider than the
+/// spec-derived bound.
+#[test]
+fn taskbench_graphs_are_acyclic_and_width_bounded() {
+    let mut rng = Pcg32::seed_from_u64(0xDA61);
+    for case in 0..32 {
+        let spec = draw_spec(&mut rng);
+        let g = spec.build();
+        let ctx = format!("case {case}: {spec:?}");
+        assert!(!g.nodes.is_empty(), "{ctx}");
+        for e in &g.edges {
+            assert!(e.src < e.dst, "{ctx}: edge {e:?} not forward");
+            assert_eq!(
+                g.nodes[e.src as usize].step + 1,
+                g.nodes[e.dst as usize].step,
+                "{ctx}: edge {e:?} skips a level"
+            );
+        }
+        assert!(
+            g.max_level_width() <= g.width_bound(),
+            "{ctx}: level width {} exceeds bound {}",
+            g.max_level_width(),
+            g.width_bound()
+        );
+        // Node ids are level-ordered, so id order is a topological order.
+        for w in g.nodes.windows(2) {
+            assert!(w[0].step <= w[1].step, "{ctx}: ids not level-ordered");
+        }
+    }
+}
+
 /// `Wire` values — including every f64 bit pattern — roundtrip exactly.
 #[test]
 fn codec_wire_values_roundtrip() {
