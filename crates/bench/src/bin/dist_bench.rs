@@ -20,16 +20,23 @@
 //! relative numbers across locality counts are NOT speedups. The header
 //! prints detected parallelism so recorded results are interpretable.
 //!
-//! Flags: `--quick` (bounded shapes for the CI smoke stage).
+//! Flags: `--quick` (bounded shapes for the CI smoke stage);
+//! `--chaos <seed>` routes the L=2 and L=4 cases through the simulated
+//! network fabric with seeded duplication + reordering (lossless, so the
+//! oracle still must hold exactly) and additionally checks that every
+//! manufactured duplicate was suppressed and the fabric's parcel ledger
+//! conserves at quiescence.
 
 use grain_metrics::{append_snapshot, BenchSnapshot, JsonValue};
 use grain_net::bootstrap::Fabric;
+use grain_net::locality::NetConfig;
 use grain_runtime::Runtime;
 use grain_runtime::RuntimeConfig;
+use grain_sim::NetPlan;
 use grain_stencil::distributed::DistStencil;
 use grain_stencil::{run_futurized, StencilParams};
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One sweep configuration: world size and partition count at fixed
 /// total points.
@@ -38,11 +45,25 @@ struct Case {
     np: usize,
 }
 
-fn run_case(total_points: usize, nt: usize, case: &Case) -> JsonValue {
+fn run_case(total_points: usize, nt: usize, case: &Case, chaos: Option<u64>) -> JsonValue {
     let nx = (total_points / case.np).max(1);
     let params = StencilParams::new(nx, case.np, nt);
 
-    let fabric = Fabric::loopback(case.world, |_| RuntimeConfig::with_workers(1));
+    let fabric = match chaos {
+        // Lossless weather: duplicate + reorder + latency but never
+        // destroy a frame, so the oracle equality below still must hold
+        // bit-for-bit — dedup and ordering robustness, not availability.
+        Some(seed) => Fabric::chaotic(
+            case.world,
+            NetPlan::clean(seed)
+                .duplicate(0.2)
+                .reorder(0.5, 200_000)
+                .latency(10_000, 5_000),
+            |_| NetConfig::default(),
+            |_| RuntimeConfig::with_workers(1),
+        ),
+        None => Fabric::loopback(case.world, |_| RuntimeConfig::with_workers(1)),
+    };
     let instances: Vec<DistStencil> = (0..case.world)
         .map(|k| DistStencil::install(fabric.locality(k), params))
         .collect();
@@ -106,8 +127,8 @@ fn run_case(total_points: usize, nt: usize, case: &Case) -> JsonValue {
         avg_ser,
     );
     assert_eq!(sent, received, "parcel books must balance at quiescence");
-    fabric.shutdown();
-    JsonValue::Obj(vec![
+
+    let mut row = vec![
         ("world".to_owned(), case.world.into()),
         ("np".to_owned(), case.np.into()),
         ("nx".to_owned(), nx.into()),
@@ -115,27 +136,81 @@ fn run_case(total_points: usize, nt: usize, case: &Case) -> JsonValue {
         ("parcels".to_owned(), sent.into()),
         ("bytes_sent".to_owned(), bytes.into()),
         ("avg_ser_ns".to_owned(), avg_ser.into()),
-    ])
+    ];
+    if let Some(net) = fabric.net() {
+        assert!(
+            net.wait_quiescent(Duration::from_secs(5)),
+            "fabric failed to drain"
+        );
+        let ledger = net.ledger();
+        assert!(ledger.conserved(), "parcel ledger leaked: {ledger:?}");
+        // The dedup bump lands in the sink handler, which can trail the
+        // fabric's own drained-state flip by a beat — poll briefly.
+        let deduped_now = || {
+            (0..case.world)
+                .map(|k| fabric.locality(k).parcels().deduped.get())
+                .sum::<u64>()
+        };
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while deduped_now() != ledger.duplicated && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let deduped = deduped_now();
+        assert_eq!(
+            deduped, ledger.duplicated,
+            "every manufactured duplicate must be suppressed exactly once"
+        );
+        println!(
+            "        chaos: {} duplicated / {} deduped / {} reordered-delivered, ledger conserved",
+            ledger.duplicated, deduped, ledger.delivered,
+        );
+        row.push(("chaos_duplicated".to_owned(), ledger.duplicated.into()));
+        row.push(("chaos_deduped".to_owned(), deduped.into()));
+    }
+    fabric.shutdown();
+    JsonValue::Obj(row)
 }
 
 fn main() {
     let mut quick = false;
-    for a in std::env::args().skip(1) {
+    let mut chaos: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--chaos" => {
+                chaos = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("usage: dist_bench [--quick] [--chaos <seed>]");
+                    std::process::exit(2);
+                }));
+            }
             other => {
-                eprintln!("usage: dist_bench [--quick] (got {other})");
+                eprintln!("usage: dist_bench [--quick] [--chaos <seed>] (got {other})");
                 std::process::exit(2);
             }
         }
     }
     println!("dist_bench: distributed stencil over loopback localities");
+    if let Some(seed) = chaos {
+        println!(
+            "chaos mode: simulated fabric, seed {seed} (dup+reorder, lossless; oracle still exact)"
+        );
+    }
     println!(
         "host parallelism: {} (see header caveat: locality counts are protocol overhead, not speedup, when this is 1)",
         std::thread::available_parallelism().map_or(0, |n| n.get())
     );
 
-    let (total_points, nt, cases): (usize, usize, Vec<Case>) = if quick {
+    let (total_points, nt, cases): (usize, usize, Vec<Case>) = if chaos.is_some() {
+        // Chaos stages: multi-locality only (world 1 has no links to
+        // perturb), small shapes — this mode checks robustness
+        // invariants, not throughput.
+        (
+            4096,
+            10,
+            vec![Case { world: 2, np: 16 }, Case { world: 4, np: 16 }],
+        )
+    } else if quick {
         (
             1024,
             8,
@@ -163,10 +238,11 @@ fn main() {
     println!();
     let mut rows = Vec::new();
     for case in &cases {
-        rows.push(run_case(total_points, nt, case));
+        rows.push(run_case(total_points, nt, case, chaos));
     }
     let snap = BenchSnapshot::new("dist")
         .config("quick", quick)
+        .config("chaos_seed", chaos.map_or(-1i64, |s| s as i64))
         .config("total_points", total_points)
         .config("nt", nt)
         .config(

@@ -6,7 +6,11 @@
 //!   connected by in-memory loopback links. No sockets, no ports, fully
 //!   hermetic and deterministic: this is what tests and single-machine
 //!   benchmarks use. `Fabric::kill` severs one locality abruptly,
-//!   emulating a crashed process.
+//!   emulating a crashed process. [`Fabric::chaotic`] is the same world
+//!   with the links routed through a seeded [`grain_sim::NetFabric`]:
+//!   identical API, but frames can now be delayed, dropped, duplicated,
+//!   reordered, or partitioned according to the [`NetPlan`] — the
+//!   harness for every chaos test and the `netstorm` binary.
 //! * [`tcp_root`] / [`tcp_join`] — the multi-process mode. Locality 0
 //!   (the *root*, HPX's console locality) binds a listener; each joiner
 //!   dials it, sends `Hello{listen_addr}`, and receives
@@ -20,19 +24,22 @@
 //! "locality `k` of `W`" works identically in both modes.
 
 use crate::codec::Frame;
-use crate::locality::Locality;
+use crate::locality::{Locality, NetConfig};
 use crate::parcelport::{self, EndPoint, Link, DEFAULT_QUEUE_CAP};
 use grain_counters::sync::Mutex;
 use grain_runtime::{Runtime, RuntimeConfig};
+use grain_sim::{NetFabric, NetPlan};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// An in-process world of loopback-connected localities.
+/// An in-process world of loopback- or chaos-connected localities.
 pub struct Fabric {
     localities: Vec<Locality>,
+    /// The simulated network, when built with [`Fabric::chaotic`].
+    net: Option<Arc<NetFabric>>,
 }
 
 impl Fabric {
@@ -41,37 +48,71 @@ impl Fabric {
     /// configuration for each locality (its `locality_id` is overridden
     /// to the slot index).
     pub fn loopback(world: usize, mk_config: impl Fn(usize) -> RuntimeConfig) -> Self {
+        Self::build(world, None, |_| NetConfig::default(), mk_config)
+    }
+
+    /// Build a world of `world` localities full-mesh connected *through a
+    /// simulated network* driven by `plan`. `mk_net` produces each
+    /// locality's robustness knobs ([`NetConfig`]) — chaos plans that
+    /// drop or blackhole frames need call deadlines and/or liveness
+    /// monitoring armed, or futures whose frames are destroyed would
+    /// wait forever.
+    ///
+    /// The same seed replays the same network weather: frame fates are a
+    /// pure function of `(plan.seed, src, dst, frame identity)`, not of
+    /// thread timing.
+    pub fn chaotic(
+        world: usize,
+        plan: NetPlan,
+        mk_net: impl Fn(usize) -> NetConfig,
+        mk_config: impl Fn(usize) -> RuntimeConfig,
+    ) -> Self {
+        Self::build(world, Some(NetFabric::new(plan)), mk_net, mk_config)
+    }
+
+    fn build(
+        world: usize,
+        net: Option<Arc<NetFabric>>,
+        mk_net: impl Fn(usize) -> NetConfig,
+        mk_config: impl Fn(usize) -> RuntimeConfig,
+    ) -> Self {
         assert!(world >= 1, "a world needs at least one locality");
         let localities: Vec<Locality> = (0..world)
             .map(|i| {
                 let mut cfg = mk_config(i);
                 cfg.locality_id = i;
                 let rt = Arc::new(Runtime::new(cfg));
-                Locality::new(rt, i, world).expect("register parcel counters")
+                Locality::with_config(rt, i, world, mk_net(i)).expect("register parcel counters")
             })
             .collect();
+        if let Some(fabric) = &net {
+            fabric
+                .register(localities[0].runtime().registry())
+                .expect("register fabric counters");
+        }
         for i in 0..world {
             for j in (i + 1)..world {
-                let (i_to_j, j_to_i) = parcelport::loopback_pair(
-                    EndPoint {
-                        id: i,
-                        incoming: localities[i].frame_handler(),
-                        on_disconnect: localities[i].disconnect_handler(),
-                        counters: Arc::clone(localities[i].parcels()),
-                    },
-                    EndPoint {
-                        id: j,
-                        incoming: localities[j].frame_handler(),
-                        on_disconnect: localities[j].disconnect_handler(),
-                        counters: Arc::clone(localities[j].parcels()),
-                    },
-                    DEFAULT_QUEUE_CAP,
-                );
+                let end = |k: usize| EndPoint {
+                    id: k,
+                    incoming: localities[k].frame_handler(),
+                    on_disconnect: localities[k].disconnect_handler(),
+                    counters: Arc::clone(localities[k].parcels()),
+                };
+                let (i_to_j, j_to_i) = match &net {
+                    Some(fabric) => parcelport::sim_pair(fabric, end(i), end(j), DEFAULT_QUEUE_CAP),
+                    None => parcelport::loopback_pair(end(i), end(j), DEFAULT_QUEUE_CAP),
+                };
                 localities[i].add_link(i_to_j);
                 localities[j].add_link(j_to_i);
             }
         }
-        Self { localities }
+        Self { localities, net }
+    }
+
+    /// The simulated network, when this world was built with
+    /// [`Fabric::chaotic`] — for ledger assertions, partitions, pausing.
+    pub fn net(&self) -> Option<&Arc<NetFabric>> {
+        self.net.as_ref()
     }
 
     /// Number of localities in this world (including killed ones).
@@ -93,13 +134,19 @@ impl Fabric {
     }
 
     /// Graceful teardown: every locality says goodbye and drains its
-    /// queues, then every runtime finishes its local work.
+    /// queues, then every runtime finishes its local work. A chaotic
+    /// world also drains and stops the simulated network (its pump
+    /// thread holds an `Arc`, so an unstopped fabric would linger).
     pub fn shutdown(&self) {
         for loc in &self.localities {
             loc.shutdown();
         }
         for loc in &self.localities {
             loc.runtime().wait_idle();
+        }
+        if let Some(fabric) = &self.net {
+            fabric.wait_quiescent(Duration::from_secs(5));
+            fabric.stop();
         }
     }
 }

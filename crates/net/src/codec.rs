@@ -309,6 +309,18 @@ pub enum Frame {
         /// Locality id of the leaver.
         locality_id: u32,
     },
+    /// Liveness probe. Not a parcel (uncounted control traffic); any
+    /// inbound frame refreshes the peer's `last_heard`, the ping merely
+    /// guarantees a quiet link still carries *something*.
+    Ping {
+        /// Echoed back in the matching [`Frame::Pong`].
+        nonce: u64,
+    },
+    /// Liveness response to a [`Frame::Ping`].
+    Pong {
+        /// The probe's nonce.
+        nonce: u64,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -317,6 +329,8 @@ const TAG_PEER_HELLO: u8 = 3;
 const TAG_CALL: u8 = 4;
 const TAG_REPLY: u8 = 5;
 const TAG_GOODBYE: u8 = 6;
+const TAG_PING: u8 = 7;
+const TAG_PONG: u8 = 8;
 
 impl Frame {
     /// True for the frames the `/parcels/*` counters track (action
@@ -384,6 +398,14 @@ impl Frame {
                 w.u8(TAG_GOODBYE);
                 w.u32(*locality_id);
             }
+            Frame::Ping { nonce } => {
+                w.u8(TAG_PING);
+                w.u64(*nonce);
+            }
+            Frame::Pong { nonce } => {
+                w.u8(TAG_PONG);
+                w.u64(*nonce);
+            }
         }
         w.into_vec()
     }
@@ -444,6 +466,8 @@ impl Frame {
             TAG_GOODBYE => Frame::Goodbye {
                 locality_id: r.u32()?,
             },
+            TAG_PING => Frame::Ping { nonce: r.u64()? },
+            TAG_PONG => Frame::Pong { nonce: r.u64()? },
             t => return Err(CodecError::Tag(t)),
         };
         r.finish()?;
@@ -681,6 +705,8 @@ mod tests {
             outcome: Err(WireFault::Panicked("boom".into())),
         });
         roundtrip(&Frame::Goodbye { locality_id: 1 });
+        roundtrip(&Frame::Ping { nonce: 0xdead });
+        roundtrip(&Frame::Pong { nonce: 0xdead });
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! ```text
 //! /parcels{locality#N/total}/count/sent
 //! /parcels{locality#N/total}/count/received
+//! /parcels{locality#N/total}/count/dropped
+//! /parcels{locality#N/total}/count/duplicated
+//! /parcels{locality#N/total}/count/deduped
+//! /parcels{locality#N/total}/calls/issued
+//! /parcels{locality#N/total}/calls/settled
 //! /parcels{locality#N/total}/bytes/sent
 //! /parcels{locality#N/total}/bytes/received
 //! /parcels{locality#N/total}/time/average-serialization
@@ -17,6 +22,16 @@
 //! balance invariant exact at quiescence: summed across all localities,
 //! `count/sent == count/received` once every outstanding call has
 //! settled.
+//!
+//! Under chaos the clean identity generalizes to the conservation
+//! ledger `sent == received + dropped + in_flight_at_sever` (the
+//! fabric's terminal buckets absorb what never arrives), with
+//! `duplicated`/`deduped` balancing each other: every extra copy the
+//! network manufactures is suppressed by the receiver's dedup window
+//! *before* `received` is bumped, so the clean books stay exact.
+//! `calls/issued` vs `calls/settled` is the exactly-once surface: at
+//! quiescence they must be equal — every `async_remote` future settled,
+//! none twice (a double settle panics the promise).
 //!
 //! `sent`/`bytes/sent` are bumped by the link writer thread at the moment
 //! of delivery; `received`/`bytes/received` by the owning locality when
@@ -37,6 +52,19 @@ pub struct ParcelCounters {
     pub sent: Arc<RawCounter>,
     /// Parcels dispatched from a peer.
     pub received: Arc<RawCounter>,
+    /// Parcels this side lost before delivery: backpressure severs and
+    /// chaos/tail drops reported by a simulated transport.
+    pub dropped: Arc<RawCounter>,
+    /// Extra parcel copies a chaotic transport manufactured on send.
+    pub duplicated: Arc<RawCounter>,
+    /// Inbound parcels suppressed as duplicates (seen `Call` seq, or a
+    /// `Reply` whose call already settled).
+    pub deduped: Arc<RawCounter>,
+    /// Remote calls issued by this locality (pending entries created).
+    pub calls_issued: Arc<RawCounter>,
+    /// Remote calls settled (pending entries removed + settled) — must
+    /// equal `calls_issued` at quiescence: exactly-once, counted.
+    pub calls_settled: Arc<RawCounter>,
     /// Encoded bytes of sent parcels.
     pub bytes_sent: Arc<RawCounter>,
     /// Encoded bytes of received parcels.
@@ -59,6 +87,11 @@ impl ParcelCounters {
         Self {
             sent: Arc::new(RawCounter::new()),
             received: Arc::new(RawCounter::new()),
+            dropped: Arc::new(RawCounter::new()),
+            duplicated: Arc::new(RawCounter::new()),
+            deduped: Arc::new(RawCounter::new()),
+            calls_issued: Arc::new(RawCounter::new()),
+            calls_settled: Arc::new(RawCounter::new()),
             bytes_sent: Arc::new(RawCounter::new()),
             bytes_received: Arc::new(RawCounter::new()),
             ser_ns: Arc::new(RawCounter::new()),
@@ -83,6 +116,26 @@ impl ParcelCounters {
         registry.register(
             &format!("/parcels{{{t}}}/count/received"),
             RawView::new(Arc::clone(&self.received), Unit::Count),
+        )?;
+        registry.register(
+            &format!("/parcels{{{t}}}/count/dropped"),
+            RawView::new(Arc::clone(&self.dropped), Unit::Count),
+        )?;
+        registry.register(
+            &format!("/parcels{{{t}}}/count/duplicated"),
+            RawView::new(Arc::clone(&self.duplicated), Unit::Count),
+        )?;
+        registry.register(
+            &format!("/parcels{{{t}}}/count/deduped"),
+            RawView::new(Arc::clone(&self.deduped), Unit::Count),
+        )?;
+        registry.register(
+            &format!("/parcels{{{t}}}/calls/issued"),
+            RawView::new(Arc::clone(&self.calls_issued), Unit::Count),
+        )?;
+        registry.register(
+            &format!("/parcels{{{t}}}/calls/settled"),
+            RawView::new(Arc::clone(&self.calls_settled), Unit::Count),
         )?;
         registry.register(
             &format!("/parcels{{{t}}}/bytes/sent"),
@@ -127,6 +180,10 @@ mod tests {
         c.bytes_sent.add(100);
         c.ser_ns.add(500);
         c.ser_samples.add(5);
+        c.dropped.add(2);
+        c.deduped.add(1);
+        c.calls_issued.add(4);
+        c.calls_settled.add(4);
 
         let t = "locality#3/total";
         let v = reg
@@ -145,6 +202,18 @@ mod tests {
             .query(&format!("/parcels{{{t}}}/queue-length"))
             .expect("queue");
         assert_eq!(v.value, 2.0);
+        let v = reg
+            .query(&format!("/parcels{{{t}}}/count/dropped"))
+            .expect("dropped");
+        assert_eq!(v.value, 2.0);
+        let v = reg
+            .query(&format!("/parcels{{{t}}}/count/deduped"))
+            .expect("deduped");
+        assert_eq!(v.value, 1.0);
+        let v = reg
+            .query(&format!("/parcels{{{t}}}/calls/settled"))
+            .expect("settled");
+        assert_eq!(v.value, 4.0);
         // Locality-0 instance must NOT exist: paths are per locality.
         assert!(reg.query("/parcels{locality#0/total}/count/sent").is_err());
     }

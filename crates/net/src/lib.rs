@@ -11,6 +11,9 @@
 //! * [`parcelport`] — point-to-point links: a bounded send queue drained
 //!   by a writer thread, over TCP (length-prefixed frames) or in-process
 //!   loopback (same machinery, no sockets).
+//! * [`transport`] — the seam under the writer thread: TCP, loopback,
+//!   and a simulated transport that routes frames through a seeded
+//!   [`grain_sim::NetFabric`] for deterministic chaos testing.
 //! * [`locality`] — the distributed unit: action registry, pending-call
 //!   table, and [`locality::Locality::async_remote`], the distributed
 //!   `hpx::async`. Remote panics come back as `TaskError::Panicked`;
@@ -42,9 +45,11 @@ pub mod codec;
 pub mod counters;
 pub mod locality;
 pub mod parcelport;
+pub mod transport;
 
 pub use bootstrap::{tcp_join, tcp_root, Fabric, TcpNode};
 pub use codec::{CodecError, Frame, Wire, WireFault, MAX_FRAME};
 pub use counters::ParcelCounters;
-pub use locality::Locality;
+pub use locality::{Locality, NetConfig};
 pub use parcelport::{Link, SendError};
+pub use transport::{LoopbackTransport, SimTransport, TcpTransport, Transport, TransportError};

@@ -22,8 +22,33 @@
 //!
 //! Every failure is a settled error value. The pending-call table is the
 //! single point of truth: whoever removes an entry (reply dispatch, send
-//! failure, peer disconnect) settles it, so each call settles exactly
-//! once no matter how the race between reply and disconnect resolves.
+//! failure, call deadline, peer disconnect) settles it, so each call
+//! settles **exactly once** no matter how the race between reply,
+//! timeout, and disconnect resolves — and the `calls/issued` vs
+//! `calls/settled` counters prove it at quiescence instead of sampling.
+//!
+//! # Chaos hardening
+//!
+//! A link over a chaotic transport (see [`crate::parcelport::sim_pair`])
+//! can duplicate, reorder, delay, drop, or silently blackhole frames.
+//! [`NetConfig`] arms the defenses, all off by default:
+//!
+//! * **Idempotent dispatch** — every inbound `Call` passes a bounded
+//!   per-origin [`DedupWindow`] keyed on `call_id` (which each origin
+//!   allocates monotonically, so it doubles as a per-peer sequence
+//!   number). A duplicated `Call` is counted under
+//!   `/parcels/count/deduped` and *not* re-executed. A duplicated or
+//!   post-settle `Reply` misses the pending table and is likewise
+//!   counted, never double-settled.
+//! * **Call deadlines** — `call_deadline` bounds how long a pending call
+//!   may wait; a dropped request or reply settles the caller's future
+//!   with [`TaskError::Timeout`] instead of hanging forever.
+//! * **Liveness** — `liveness_deadline` arms a monitor thread that pings
+//!   peers every `ping_interval` and severs any link silent past the
+//!   deadline, converting a blackholed peer into an ordinary
+//!   disconnect (`TaskError::Disconnected`, sweep of its pending calls).
+
+#![deny(clippy::unwrap_used)]
 
 use crate::codec::{self, Frame, Wire, WireFault};
 use crate::counters::ParcelCounters;
@@ -31,10 +56,10 @@ use crate::parcelport::{DisconnectHandler, FrameHandler, Link};
 use grain_counters::sync::{Mutex, RwLock};
 use grain_counters::RegistryError;
 use grain_runtime::{channel, Runtime, SharedFuture, TaskError};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 /// Type-erased action handler: decode the argument bytes, start the work,
 /// hand back a future of the *encoded* result. `Err(WireFault)` reports a
@@ -42,11 +67,92 @@ use std::time::Instant;
 pub type RawHandler =
     Arc<dyn Fn(&Runtime, Vec<u8>) -> Result<SharedFuture<Vec<u8>>, WireFault> + Send + Sync>;
 
+/// Default bound on each per-origin dedup window, in remembered call ids.
+pub const DEFAULT_DEDUP_WINDOW: usize = 1024;
+
+/// Default liveness probe cadence when a monitor is armed.
+pub const DEFAULT_PING_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Network-robustness knobs for one locality. `Default` disables every
+/// defense except the dedup window (which is free and always safe), which
+/// keeps clean-transport worlds byte-for-byte on their old behavior — no
+/// monitor thread is spawned unless a deadline is configured.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Sever a link whose peer has been silent this long (no frame of any
+    /// kind received). `None` disables liveness monitoring.
+    pub liveness_deadline: Option<Duration>,
+    /// How often the monitor pings each peer while liveness is armed.
+    pub ping_interval: Duration,
+    /// Settle any pending call older than this with
+    /// [`TaskError::Timeout`]. `None` means calls wait indefinitely (a
+    /// disconnect still sweeps them).
+    pub call_deadline: Option<Duration>,
+    /// Per-origin dedup window size, in call ids. Duplicates older than
+    /// the window are conservatively treated as already seen.
+    pub dedup_window: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            liveness_deadline: None,
+            ping_interval: DEFAULT_PING_INTERVAL,
+            call_deadline: None,
+            dedup_window: DEFAULT_DEDUP_WINDOW,
+        }
+    }
+}
+
+/// Bounded duplicate-suppression window for one origin's call ids.
+///
+/// Relies on origins allocating call ids monotonically (they do:
+/// `next_call` is a counter), so the id doubles as a per-peer sequence
+/// number. Ids at or below the eviction watermark are conservatively
+/// duplicates: a fresh id can only land there if the peer reordered more
+/// than `cap` calls, which real plans keep orders of magnitude away from.
+struct DedupWindow {
+    seen: HashSet<u64>,
+    order: VecDeque<u64>,
+    /// Highest evicted id; everything ≤ this is treated as seen.
+    watermark: u64,
+    cap: usize,
+}
+
+impl DedupWindow {
+    fn new(cap: usize) -> Self {
+        Self {
+            seen: HashSet::new(),
+            order: VecDeque::new(),
+            watermark: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Record `id`; returns `true` if it was fresh (first sighting).
+    fn insert(&mut self, id: u64) -> bool {
+        if id <= self.watermark || self.seen.contains(&id) {
+            return false;
+        }
+        self.seen.insert(id);
+        self.order.push_back(id);
+        while self.order.len() > self.cap {
+            if let Some(evicted) = self.order.pop_front() {
+                self.seen.remove(&evicted);
+                self.watermark = self.watermark.max(evicted);
+            }
+        }
+        true
+    }
+}
+
 /// One outstanding remote call.
 struct Pending {
     /// Locality the call was addressed to (so a disconnect can sweep by
     /// peer).
     dest: usize,
+    /// When the call was issued, for the deadline sweep.
+    issued_at: Instant,
     /// Settles the caller's future. Removing the entry and invoking this
     /// is the one-and-only settle of that call.
     settle: Box<dyn FnOnce(Result<Vec<u8>, TaskError>) + Send>,
@@ -59,17 +165,23 @@ pub struct LocalityShared {
     id: usize,
     world: usize,
     runtime: Arc<Runtime>,
+    config: NetConfig,
     actions: RwLock<HashMap<String, RawHandler>>,
     links: RwLock<HashMap<usize, Arc<Link>>>,
     pending: Mutex<HashMap<u64, Pending>>,
+    /// Per-origin duplicate-suppression windows for inbound calls.
+    dedup: Mutex<HashMap<usize, DedupWindow>>,
+    /// Last time any frame arrived from each linked peer.
+    last_heard: Mutex<HashMap<usize, Instant>>,
     next_call: AtomicU64,
+    next_ping: AtomicU64,
     parcels: Arc<ParcelCounters>,
     dead: AtomicBool,
 }
 
 impl LocalityShared {
     /// Dispatch one inbound frame (called from a reader / loopback writer
-    /// thread).
+    /// / fabric pump thread).
     fn on_frame(self: &Arc<Self>, from: usize, bytes: Vec<u8>) {
         let frame = match Frame::decode(&bytes) {
             Ok(f) => f,
@@ -80,23 +192,66 @@ impl LocalityShared {
                 return;
             }
         };
-        if frame.is_parcel() {
-            self.parcels.received.incr();
-            self.parcels.bytes_received.add(bytes.len() as u64);
-        }
+        // Any well-formed frame proves the peer alive.
+        self.note_heard(from);
+        let n = bytes.len() as u64;
         match frame {
             Frame::Call {
                 call_id,
                 origin,
                 action,
                 args,
-            } => self.handle_call(call_id, origin as usize, &action, args),
-            Frame::Reply { call_id, outcome } => self.handle_reply(call_id, outcome),
+            } => {
+                let origin = origin as usize;
+                if !self.dedup_fresh(origin, call_id) {
+                    // Duplicated by the network: already dispatched (or
+                    // about to be, by the copy that won). Never re-run.
+                    self.parcels.deduped.incr();
+                    return;
+                }
+                self.parcels.received.incr();
+                self.parcels.bytes_received.add(n);
+                self.handle_call(call_id, origin, &action, args);
+            }
+            Frame::Reply { call_id, outcome } => {
+                if self.handle_reply(call_id, outcome) {
+                    self.parcels.received.incr();
+                    self.parcels.bytes_received.add(n);
+                } else {
+                    // Duplicated reply, or a reply racing a deadline /
+                    // disconnect settle that won. Either way the call is
+                    // settled exactly once already.
+                    self.parcels.deduped.incr();
+                }
+            }
             Frame::Goodbye { locality_id } => self.sever_link(locality_id as usize),
+            Frame::Ping { nonce } => {
+                // Liveness probe: answer without blocking or severing —
+                // a congested link is not a dead one.
+                let link = self.links.read().get(&from).cloned();
+                if let Some(link) = link {
+                    let _ = link.try_send(&Frame::Pong { nonce });
+                }
+            }
+            Frame::Pong { .. } => {} // note_heard above did the work
             // Bootstrap frames are consumed during the handshake, before
             // a link's reader delivers here; arriving late they are noise.
             Frame::Hello { .. } | Frame::Welcome { .. } | Frame::PeerHello { .. } => {}
         }
+    }
+
+    /// Refresh the liveness clock for `peer`.
+    fn note_heard(&self, peer: usize) {
+        self.last_heard.lock().insert(peer, Instant::now());
+    }
+
+    /// Record `(origin, call_id)`; `false` means duplicate.
+    fn dedup_fresh(&self, origin: usize, call_id: u64) -> bool {
+        let mut windows = self.dedup.lock();
+        windows
+            .entry(origin)
+            .or_insert_with(|| DedupWindow::new(self.config.dedup_window))
+            .insert(call_id)
     }
 
     fn handle_call(self: &Arc<Self>, call_id: u64, origin: usize, action: &str, args: Vec<u8>) {
@@ -125,10 +280,21 @@ impl LocalityShared {
         }
     }
 
-    fn handle_reply(self: &Arc<Self>, call_id: u64, outcome: Result<Vec<u8>, WireFault>) {
+    /// Settle the pending call this reply answers. Returns `false` if the
+    /// call was already settled (duplicate / late reply) — the frame is
+    /// then a dedup event, not traffic.
+    fn handle_reply(self: &Arc<Self>, call_id: u64, outcome: Result<Vec<u8>, WireFault>) -> bool {
         let entry = self.pending.lock().remove(&call_id);
-        let Some(entry) = entry else { return }; // late reply after disconnect settle
+        let Some(entry) = entry else { return false };
         let outcome = outcome.map_err(|fault| task_error_of(fault, entry.dest));
+        self.settle_entry(entry, outcome);
+        true
+    }
+
+    /// The one funnel every settle path goes through, so
+    /// `calls/settled` counts each pending entry exactly once.
+    fn settle_entry(&self, entry: Pending, outcome: Result<Vec<u8>, TaskError>) {
+        self.parcels.calls_settled.incr();
         (entry.settle)(outcome);
     }
 
@@ -136,6 +302,7 @@ impl LocalityShared {
     /// to it with [`TaskError::Disconnected`].
     fn on_peer_disconnect(self: &Arc<Self>, peer: usize) {
         self.links.write().remove(&peer);
+        self.last_heard.lock().remove(&peer);
         let drained: Vec<Pending> = {
             let mut pending = self.pending.lock();
             let ids: Vec<u64> = pending
@@ -150,7 +317,7 @@ impl LocalityShared {
         // Settle outside the lock: settling runs continuations inline,
         // which may issue further sends or even new remote calls.
         for p in drained {
-            (p.settle)(Err(TaskError::Disconnected { locality: peer }));
+            self.settle_entry(p, Err(TaskError::Disconnected { locality: peer }));
         }
     }
 
@@ -182,7 +349,59 @@ impl LocalityShared {
     fn settle_pending(self: &Arc<Self>, call_id: u64, outcome: Result<Vec<u8>, TaskError>) {
         let entry = self.pending.lock().remove(&call_id);
         if let Some(entry) = entry {
-            (entry.settle)(outcome);
+            self.settle_entry(entry, outcome);
+        }
+    }
+
+    /// One monitor tick: ping live peers, sever the silent ones, settle
+    /// deadline-expired calls. All settling happens outside the locks.
+    fn monitor_tick(self: &Arc<Self>) {
+        if let Some(deadline) = self.config.liveness_deadline {
+            let links: Vec<Arc<Link>> = self.links.read().values().cloned().collect();
+            let now = Instant::now();
+            let mut stale: Vec<usize> = Vec::new();
+            {
+                let heard = self.last_heard.lock();
+                for link in &links {
+                    match heard.get(&link.peer()) {
+                        Some(at) if now.duration_since(*at) > deadline => {
+                            stale.push(link.peer());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for peer in stale {
+                self.sever_link(peer);
+            }
+            let nonce = self.next_ping.fetch_add(1, Ordering::Relaxed);
+            let links: Vec<Arc<Link>> = self.links.read().values().cloned().collect();
+            for link in links {
+                // Non-blocking, non-severing: a full queue skips a round.
+                let _ = link.try_send(&Frame::Ping { nonce });
+            }
+        }
+        if let Some(deadline) = self.config.call_deadline {
+            let now = Instant::now();
+            let expired: Vec<(Pending, Duration)> = {
+                let mut pending = self.pending.lock();
+                let ids: Vec<u64> = pending
+                    .iter()
+                    .filter(|(_, p)| now.duration_since(p.issued_at) > deadline)
+                    .map(|(id, _)| *id)
+                    .collect();
+                ids.into_iter()
+                    .filter_map(|id| {
+                        pending
+                            .remove(&id)
+                            .map(|p| (now.duration_since(p.issued_at), p))
+                            .map(|(waited, p)| (p, waited))
+                    })
+                    .collect()
+            };
+            for (entry, waited) in expired {
+                self.settle_entry(entry, Err(TaskError::Timeout { waited }));
+            }
         }
     }
 
@@ -202,25 +421,45 @@ pub struct Locality {
 
 impl Locality {
     /// Wrap `runtime` as locality `id` of a world of `world` localities
-    /// and register its `/parcels/*` counter family.
+    /// and register its `/parcels/*` counter family, with default
+    /// [`NetConfig`] (no liveness monitor, no call deadlines).
     ///
     /// The runtime should have been built with
     /// `RuntimeConfig { locality_id: id, .. }` so its `/threads{…}`
     /// counters live under the same instance name.
     pub fn new(runtime: Arc<Runtime>, id: usize, world: usize) -> Result<Self, RegistryError> {
+        Self::with_config(runtime, id, world, NetConfig::default())
+    }
+
+    /// [`Locality::new`] with explicit robustness knobs. Setting either
+    /// `liveness_deadline` or `call_deadline` spawns a monitor thread
+    /// (`grain-net-mon-{id}`) that holds only a weak reference — it exits
+    /// when the locality is dropped or leaves the world.
+    pub fn with_config(
+        runtime: Arc<Runtime>,
+        id: usize,
+        world: usize,
+        config: NetConfig,
+    ) -> Result<Self, RegistryError> {
         debug_assert_eq!(
             runtime.locality_id(),
             id,
             "runtime locality_id must match the locality id"
         );
+        let monitored = config.liveness_deadline.is_some() || config.call_deadline.is_some();
+        let tick = monitor_tick_interval(&config);
         let shared = Arc::new(LocalityShared {
             id,
             world,
             runtime,
+            config,
             actions: RwLock::new(HashMap::new()),
             links: RwLock::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
+            dedup: Mutex::new(HashMap::new()),
+            last_heard: Mutex::new(HashMap::new()),
             next_call: AtomicU64::new(1),
+            next_ping: AtomicU64::new(1),
             parcels: Arc::new(ParcelCounters::new()),
             dead: AtomicBool::new(false),
         });
@@ -235,6 +474,20 @@ impl Locality {
         shared
             .parcels
             .register(shared.runtime.registry(), id, probe)?;
+        if monitored {
+            let w: Weak<LocalityShared> = Arc::downgrade(&shared);
+            std::thread::Builder::new()
+                .name(format!("grain-net-mon-{id}"))
+                .spawn(move || loop {
+                    std::thread::sleep(tick);
+                    let Some(shared) = w.upgrade() else { return };
+                    if shared.dead.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    shared.monitor_tick();
+                })
+                .expect("failed to spawn net monitor thread");
+        }
         Ok(Self { shared })
     }
 
@@ -246,6 +499,11 @@ impl Locality {
     /// Number of localities in the world.
     pub fn world(&self) -> usize {
         self.shared.world
+    }
+
+    /// The robustness knobs this locality was built with.
+    pub fn net_config(&self) -> &NetConfig {
+        &self.shared.config
     }
 
     /// The scheduler this locality runs tasks on.
@@ -319,7 +577,9 @@ impl Locality {
     /// * unknown action / undecodable args or reply →
     ///   [`TaskError::Remote`] naming `dest`;
     /// * no link, send failure, or peer death before the reply →
-    ///   [`TaskError::Disconnected`] naming `dest`.
+    ///   [`TaskError::Disconnected`] naming `dest`;
+    /// * configured `call_deadline` expiring first →
+    ///   [`TaskError::Timeout`].
     ///
     /// `dest == self.id()` is the local fast path: no link or parcel
     /// counters involved, but arguments and result still round-trip
@@ -367,11 +627,17 @@ impl Locality {
                 Err(e) => promise.fail(e),
             });
         // Insert before sending: the reply may arrive on another thread
-        // before `send` returns.
-        shared
-            .pending
-            .lock()
-            .insert(call_id, Pending { dest, settle });
+        // before `send` returns. `calls_issued` is bumped with the entry
+        // in place, so issued == settled is exact at quiescence.
+        shared.parcels.calls_issued.incr();
+        shared.pending.lock().insert(
+            call_id,
+            Pending {
+                dest,
+                issued_at: t0,
+                settle,
+            },
+        );
 
         let frame = Frame::Call {
             call_id,
@@ -440,10 +706,26 @@ impl Locality {
         })
     }
 
-    /// Install an outbound link to its peer (bootstrap hook).
+    /// Install an outbound link to its peer (bootstrap hook). Starts the
+    /// peer's liveness clock: a peer that never speaks after linking is
+    /// exactly the silent-blackhole case the monitor exists for.
     pub(crate) fn add_link(&self, link: Arc<Link>) {
+        self.shared.note_heard(link.peer());
         self.shared.links.write().insert(link.peer(), link);
     }
+}
+
+/// How often the monitor thread wakes: fine enough to resolve the
+/// tightest configured deadline, never busier than 1ms.
+fn monitor_tick_interval(config: &NetConfig) -> Duration {
+    let mut tick = config.ping_interval;
+    if let Some(d) = config.liveness_deadline {
+        tick = tick.min(d / 4);
+    }
+    if let Some(d) = config.call_deadline {
+        tick = tick.min(d / 4);
+    }
+    tick.max(Duration::from_millis(1))
 }
 
 /// Map a locally-settled error to its wire form (serving side). The
@@ -496,4 +778,50 @@ where
         Err(e) => promise.fail(e.clone()),
     });
     future
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_window_suppresses_repeats_and_bounds_memory() {
+        let mut w = DedupWindow::new(4);
+        assert!(w.insert(1));
+        assert!(w.insert(2));
+        assert!(!w.insert(1), "repeat suppressed");
+        assert!(!w.insert(2), "repeat suppressed");
+        assert!(w.insert(3));
+        assert!(w.insert(4));
+        assert!(w.insert(5), "window slides");
+        assert!(w.seen.len() <= 4, "memory bounded");
+        // 1 was evicted; the watermark still damns it.
+        assert!(!w.insert(1), "evicted id stays suppressed via watermark");
+        // Far-future ids are always fresh.
+        assert!(w.insert(1000));
+        assert!(!w.insert(1000));
+    }
+
+    #[test]
+    fn dedup_window_handles_reordering_within_cap() {
+        let mut w = DedupWindow::new(64);
+        // Arrivals out of order, all within the window: each fresh once.
+        for id in [5u64, 2, 9, 1, 7, 3] {
+            assert!(w.insert(id), "id {id} fresh");
+        }
+        for id in [5u64, 2, 9, 1, 7, 3] {
+            assert!(!w.insert(id), "id {id} duplicate");
+        }
+        assert!(w.insert(4), "unseen id inside the range is still fresh");
+    }
+
+    #[test]
+    fn monitor_tick_interval_tracks_tightest_deadline() {
+        let mut cfg = NetConfig::default();
+        assert_eq!(monitor_tick_interval(&cfg), DEFAULT_PING_INTERVAL);
+        cfg.call_deadline = Some(Duration::from_millis(20));
+        assert_eq!(monitor_tick_interval(&cfg), Duration::from_millis(5));
+        cfg.liveness_deadline = Some(Duration::from_millis(2));
+        assert_eq!(monitor_tick_interval(&cfg), Duration::from_millis(1));
+    }
 }

@@ -44,14 +44,18 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod fabric;
 pub mod machine;
+pub mod netplan;
 pub mod report;
 pub mod rng;
 pub mod storm;
 pub mod workload;
 
 pub use engine::{simulate, SimConfig};
+pub use fabric::{LedgerSnapshot, NetFabric, SimFrameClass, SimSink, SubmitOutcome};
 pub use machine::MachineModel;
+pub use netplan::{FrameFate, NetPlan, PartitionMode, PartitionWindow, Verdict};
 pub use report::SimReport;
 pub use storm::{StormEvent, StormPlan, TenantStorm};
 pub use workload::{SimTaskSpec, SimWorkload};

@@ -14,6 +14,21 @@
 //! (who submits what, when, and whether it faults). The soak binary in
 //! `grain-bench` turns events into real [`grain-service`] submissions on
 //! a scaled-down real-time clock.
+//!
+//! ## Seed-space split with the network chaos streams
+//!
+//! Storm tenants and [`crate::netplan::NetPlan`] verdict streams may be
+//! driven by the *same* user-facing seed (the `netstorm` harness does
+//! exactly that), so their Pcg32 streams must come from disjoint regions
+//! of the 2⁶⁴ seed space. The contract: tenant `idx` seeds its stream as
+//! `seed ^ (0x9e37_79b9_7f4a_7c15 · (idx + 1))` — the multiplicative
+//! golden-ratio family over small indices — while every NetPlan stream
+//! folds in [`crate::netplan::NET_STREAM_SALT`] and passes through a
+//! full `splitmix64` finalizer. Changing either formula silently
+//! decorrelates nothing and *recorrelates* everything, so the tenant
+//! side is frozen by a bit-identity regression test below
+//! (`recorded_storm_seed_is_bit_identical`) against a plan recorded when
+//! the split was established.
 
 use crate::rng::Pcg32;
 use std::time::Duration;
@@ -245,6 +260,41 @@ mod tests {
             )
             .faulting_during(0.0, 0.6),
         ]
+    }
+
+    /// FNV-1a fold used to fingerprint a plan for the bit-identity
+    /// regression below.
+    fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Bit-identity regression against a recorded storm. The tenant
+    /// seeding formula (`seed ^ golden·(idx+1)`, see the module docs) is
+    /// a public contract shared with the network chaos streams in
+    /// [`crate::netplan`]: if it drifts, every replayed storm and every
+    /// recorded `netstorm` report silently changes meaning. The constant
+    /// below is the FNV-1a fingerprint of the plan that seed 7 produced
+    /// over the three-tenant fixture when the stream-space split was
+    /// established; it must never change.
+    #[test]
+    fn recorded_storm_seed_is_bit_identical() {
+        let plan = StormPlan::generate(7, Duration::from_secs(5), &three_tenants());
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for e in &plan.events {
+            h = fnv(h, &(e.at.as_nanos() as u64).to_le_bytes());
+            h = fnv(h, e.name.as_bytes());
+            h = fnv(h, &e.tasks.to_le_bytes());
+            h = fnv(h, &(e.grain.as_nanos() as u64).to_le_bytes());
+            h = fnv(h, &[u8::from(e.faulty)]);
+        }
+        assert_eq!(
+            h, 0xef04_fe54_fc29_27af,
+            "the seeded tenant streams drifted: replayed storms and recorded \
+             netstorm reports no longer mean what they meant when recorded"
+        );
     }
 
     #[test]

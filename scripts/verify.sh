@@ -59,6 +59,28 @@ grep -q '^OK$' results/dist_bench.txt || {
     exit 1
 }
 
+echo "==> netstorm replay determinism"
+# The chaos headline: a 3-locality taskbench storm over the simulated
+# network fabric (drop/dup/reorder + a partition/heal cycle + a
+# kill-under-partition), with exactly-once settlement counted and the
+# parcel ledger conserved — asserted inside the binary. The binary
+# already replays itself once in-process; running it twice as separate
+# processes and diffing proves the report is deterministic across
+# process boundaries too (no address, timing, or thread-id leakage).
+cargo run --release -p grain-bench --bin netstorm --offline -- --quick \
+    | tee results/netstorm.txt
+grep -q '^OK$' results/netstorm.txt || {
+    echo "netstorm did not complete" >&2
+    exit 1
+}
+cargo run --release -p grain-bench --bin netstorm --offline -- --quick \
+    > results/netstorm_replay.txt
+cmp -s results/netstorm.txt results/netstorm_replay.txt || {
+    echo "netstorm reports diverged across processes" >&2
+    diff results/netstorm.txt results/netstorm_replay.txt >&2 || true
+    exit 1
+}
+
 echo "==> taskbench smoke"
 # The dependency-graph workload surface end to end: five graph families
 # generated from one seed, swept over grain and payload on the local
@@ -84,10 +106,15 @@ echo "==> unwrap-free hot paths"
 # every future routed over that link). So do the taskbench generator and
 # executors: a panic inside a node task or the edge board poisons a
 # whole measured sweep (and, distributed, wedges remote edge waiters).
+# The chaos layer joins too: the locality's dispatch/dedup/monitor
+# paths, the transport seam, and the simulated fabric's pump thread all
+# run on threads whose panic silently kills delivery for a whole world.
 for f in crates/runtime/src/worker.rs crates/runtime/src/queue.rs \
     crates/runtime/src/scheduler.rs crates/service/src/service.rs \
     crates/service/src/admission.rs crates/service/src/pressure.rs \
     crates/net/src/parcelport.rs crates/net/src/codec.rs \
+    crates/net/src/locality.rs crates/net/src/transport.rs \
+    crates/sim/src/fabric.rs crates/sim/src/netplan.rs \
     crates/taskbench/src/graph.rs crates/taskbench/src/exec_local.rs \
     crates/taskbench/src/exec_service.rs crates/taskbench/src/exec_net.rs; do
     grep -q 'deny(clippy::unwrap_used)' "$f" || {

@@ -591,6 +591,115 @@ fn codec_corruption_never_panics() {
     }
 }
 
+/// NetPlan-style stream chaos — seeded drop, duplicate, and bounded
+/// reorder of *whole frames* — never corrupts framing: every message
+/// that survives still decodes to exactly the frame it was encoded
+/// from, because each frame is a self-contained envelope and the chaos
+/// fabric (like TCP beneath the real parcelport) only permutes and
+/// copies messages, never splices them.
+#[test]
+fn codec_stream_chaos_preserves_every_surviving_frame() {
+    let mut rng = Pcg32::seed_from_u64(0x57A6);
+    for case in 0..40 {
+        let originals: Vec<Frame> = (0..draw(&mut rng, 4, 24))
+            .map(|_| draw_frame(&mut rng))
+            .collect();
+        // Each message remembers which original it carries.
+        let mut stream: Vec<(usize, Vec<u8>)> = originals
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i, f.encode()))
+            .collect();
+        // Drop (p = 0.2), then duplicate (p = 0.2) — the dup rides
+        // directly behind its original, like a fabric re-send.
+        stream.retain(|_| rng.next_f64() >= 0.2);
+        let mut shaken: Vec<(usize, Vec<u8>)> = Vec::new();
+        for m in stream {
+            let dup = rng.next_f64() < 0.2;
+            shaken.push(m.clone());
+            if dup {
+                shaken.push(m);
+            }
+        }
+        // Bounded reorder: swap adjacent messages with p = 0.5.
+        let mut i = 0;
+        while i + 1 < shaken.len() {
+            if rng.next_f64() < 0.5 {
+                shaken.swap(i, i + 1);
+            }
+            i += 1;
+        }
+        for (idx, bytes) in &shaken {
+            let back = Frame::decode(bytes)
+                .unwrap_or_else(|e| panic!("case {case}: surviving frame {idx} broke: {e}"));
+            assert_eq!(
+                back, originals[*idx],
+                "case {case}: frame {idx} mutated in flight"
+            );
+        }
+    }
+}
+
+/// Corrupting payload bytes (anything past magic + version + tag) must
+/// never change *which variant* a frame parses as, and any successful
+/// decode must stay canonical: re-encoding reproduces the mutated bytes
+/// exactly. A flipped length prefix or inner tag errors out; it never
+/// reinterprets a Call as a Reply.
+#[test]
+fn codec_payload_mutations_never_switch_variants() {
+    let mut rng = Pcg32::seed_from_u64(0xF1A7);
+    let mut survived = 0u32;
+    for case in 0..400 {
+        let frame = draw_frame(&mut rng);
+        let mut bytes = frame.encode();
+        // Mutate 1–3 bytes strictly inside the payload (index >= 6).
+        if bytes.len() <= 6 {
+            continue;
+        }
+        for _ in 0..draw(&mut rng, 1, 4) {
+            let idx = draw(&mut rng, 6, bytes.len());
+            bytes[idx] ^= (rng.range_u64(255) + 1) as u8;
+        }
+        match Frame::decode(&bytes) {
+            Err(_) => {} // rejected cleanly — always acceptable
+            Ok(mutant) => {
+                survived += 1;
+                assert_eq!(
+                    std::mem::discriminant(&mutant),
+                    std::mem::discriminant(&frame),
+                    "case {case}: payload corruption switched {frame:?} into {mutant:?}"
+                );
+                assert_eq!(
+                    mutant.encode(),
+                    bytes,
+                    "case {case}: decode accepted a non-canonical encoding"
+                );
+            }
+        }
+    }
+    // The corpus must actually exercise the accepted-mutant path (value
+    // flips inside fixed-width fields survive decoding).
+    assert!(survived > 0, "mutation corpus never produced a survivor");
+}
+
+/// Splicing two frames into one buffer must error (`Trailing`), never
+/// silently decode the first and discard the second — a dedup or replay
+/// defense cannot work if concatenation smuggles frames past it.
+#[test]
+fn codec_spliced_frames_rejected() {
+    let mut rng = Pcg32::seed_from_u64(0x5711C);
+    for case in 0..50 {
+        let a = draw_frame(&mut rng);
+        let b = draw_frame(&mut rng);
+        let mut spliced = a.encode();
+        spliced.extend_from_slice(&b.encode());
+        assert!(
+            Frame::decode(&spliced).is_err(),
+            "case {case}: spliced {a:?}+{b:?} decoded"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------
 // Taskbench graph-generator properties (grain-taskbench)
 // ---------------------------------------------------------------------
