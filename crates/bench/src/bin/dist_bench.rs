@@ -45,6 +45,15 @@ struct Case {
     np: usize,
 }
 
+/// The chaos-mode network weather for `seed` — one constructor so the
+/// recorded snapshot can fingerprint exactly the plan the runs used.
+fn chaos_plan(seed: u64) -> NetPlan {
+    NetPlan::clean(seed)
+        .duplicate(0.2)
+        .reorder(0.5, 200_000)
+        .latency(10_000, 5_000)
+}
+
 fn run_case(total_points: usize, nt: usize, case: &Case, chaos: Option<u64>) -> JsonValue {
     let nx = (total_points / case.np).max(1);
     let params = StencilParams::new(nx, case.np, nt);
@@ -55,10 +64,7 @@ fn run_case(total_points: usize, nt: usize, case: &Case, chaos: Option<u64>) -> 
         // bit-for-bit — dedup and ordering robustness, not availability.
         Some(seed) => Fabric::chaotic(
             case.world,
-            NetPlan::clean(seed)
-                .duplicate(0.2)
-                .reorder(0.5, 200_000)
-                .latency(10_000, 5_000),
+            chaos_plan(seed),
             |_| NetConfig::default(),
             |_| RuntimeConfig::with_workers(1),
         ),
@@ -243,6 +249,17 @@ fn main() {
     let snap = BenchSnapshot::new("dist")
         .config("quick", quick)
         .config("chaos_seed", chaos.map_or(-1i64, |s| s as i64))
+        // The seed alone does not pin the weather — the probability and
+        // latency knobs matter too. The fingerprint hashes the whole
+        // plan, so two snapshots with equal fingerprints replayed the
+        // byte-identical chaos.
+        .config(
+            "netplan_fingerprint",
+            chaos.map_or_else(
+                || "none".to_string(),
+                |s| format!("{:016x}", chaos_plan(s).fingerprint()),
+            ),
+        )
         .config("total_points", total_points)
         .config("nt", nt)
         .config(

@@ -1,0 +1,218 @@
+//! Gateway-side per-locality circuit breakers.
+//!
+//! The gateway keeps one breaker per *worker locality* (as opposed to
+//! the per-tenant breakers inside each worker's service). Dispatch
+//! failures — severed links, ack timeouts, worker-side admission
+//! refusals — count against the destination; enough consecutive
+//! failures open the breaker and placement stops routing there until a
+//! cooldown elapses, after which a single probe dispatch is allowed
+//! through (half-open).
+//!
+//! The state lives in the gateway's own memory, keyed by locality id:
+//! **it survives peer death by construction**. A worker that dies with
+//! its breaker open is still open when a replacement process rejoins
+//! under the same id — the gateway re-admits it through the half-open
+//! probe discipline rather than instantly flooding it.
+
+#![deny(clippy::unwrap_used)]
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Debug, Clone)]
+pub struct FleetBreakerConfig {
+    /// Consecutive dispatch failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker refuses before allowing a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for FleetBreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Breaker lifecycle state for one worker locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetBreakerState {
+    /// Dispatches flow normally.
+    Closed,
+    /// Dispatches refused until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; one probe dispatch is in flight.
+    HalfOpen,
+}
+
+struct Entry {
+    consecutive_failures: u32,
+    state: FleetBreakerState,
+    opened_at: Option<Instant>,
+    opens: u64,
+}
+
+impl Entry {
+    fn new() -> Self {
+        Self {
+            consecutive_failures: 0,
+            state: FleetBreakerState::Closed,
+            opened_at: None,
+            opens: 0,
+        }
+    }
+}
+
+/// The per-locality breaker map. Not thread-safe by itself — the
+/// gateway guards it with its own lock.
+pub struct LocalityBreakers {
+    config: FleetBreakerConfig,
+    entries: HashMap<usize, Entry>,
+}
+
+impl LocalityBreakers {
+    /// Empty map with `config` tuning.
+    pub fn new(config: FleetBreakerConfig) -> Self {
+        Self {
+            config,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// May the gateway dispatch to `worker` right now? `Open` breakers
+    /// transition to `HalfOpen` (and answer yes, once) after the
+    /// cooldown.
+    pub fn allow(&mut self, worker: usize, now: Instant) -> bool {
+        let cooldown = self.config.cooldown;
+        let e = self.entries.entry(worker).or_insert_with(Entry::new);
+        match e.state {
+            FleetBreakerState::Closed => true,
+            FleetBreakerState::HalfOpen => false, // one probe at a time
+            FleetBreakerState::Open => {
+                let elapsed = e.opened_at.map(|t| now.duration_since(t)) >= Some(cooldown);
+                if elapsed {
+                    e.state = FleetBreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Non-mutating preview of [`LocalityBreakers::allow`]: would a
+    /// dispatch be allowed right now? Placement uses this to scan
+    /// candidates without consuming the half-open probe slot.
+    pub fn would_allow(&self, worker: usize, now: Instant) -> bool {
+        match self.entries.get(&worker) {
+            None => true,
+            Some(e) => match e.state {
+                FleetBreakerState::Closed => true,
+                FleetBreakerState::HalfOpen => false,
+                FleetBreakerState::Open => {
+                    e.opened_at.map(|t| now.duration_since(t)) >= Some(self.config.cooldown)
+                }
+            },
+        }
+    }
+
+    /// Record a successful dispatch to `worker` (acked and accepted).
+    pub fn record_success(&mut self, worker: usize) {
+        let e = self.entries.entry(worker).or_insert_with(Entry::new);
+        e.consecutive_failures = 0;
+        e.state = FleetBreakerState::Closed;
+        e.opened_at = None;
+    }
+
+    /// Record a failed dispatch (disconnect, ack timeout, refusal).
+    pub fn record_failure(&mut self, worker: usize, now: Instant) {
+        let threshold = self.config.failure_threshold;
+        let e = self.entries.entry(worker).or_insert_with(Entry::new);
+        e.consecutive_failures += 1;
+        let trip = match e.state {
+            // A failed half-open probe re-opens immediately.
+            FleetBreakerState::HalfOpen => true,
+            _ => e.consecutive_failures >= threshold,
+        };
+        if trip && e.state != FleetBreakerState::Open {
+            e.state = FleetBreakerState::Open;
+            e.opened_at = Some(now);
+            e.opens += 1;
+        } else if trip {
+            e.opened_at = Some(now);
+        }
+    }
+
+    /// The breaker state recorded for `worker` — present even if the
+    /// worker is long dead (state outlives the peer).
+    pub fn state(&self, worker: usize) -> Option<FleetBreakerState> {
+        self.entries.get(&worker).map(|e| e.state)
+    }
+
+    /// How many times `worker`'s breaker has opened.
+    pub fn opens(&self, worker: usize) -> u64 {
+        self.entries.get(&worker).map_or(0, |e| e.opens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FleetBreakerConfig {
+        FleetBreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn opens_after_threshold_and_probes_after_cooldown() {
+        let mut b = LocalityBreakers::new(cfg());
+        let t0 = Instant::now();
+        assert!(b.allow(1, t0));
+        b.record_failure(1, t0);
+        assert!(b.allow(1, t0), "one failure below threshold");
+        b.record_failure(1, t0);
+        assert_eq!(b.state(1), Some(FleetBreakerState::Open));
+        assert!(!b.allow(1, t0), "open refuses");
+        let later = t0 + Duration::from_millis(60);
+        assert!(b.allow(1, later), "cooldown elapsed: one probe");
+        assert_eq!(b.state(1), Some(FleetBreakerState::HalfOpen));
+        assert!(!b.allow(1, later), "only one probe at a time");
+        b.record_success(1);
+        assert_eq!(b.state(1), Some(FleetBreakerState::Closed));
+        assert!(b.allow(1, later));
+        assert_eq!(b.opens(1), 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = LocalityBreakers::new(cfg());
+        let t0 = Instant::now();
+        b.record_failure(1, t0);
+        b.record_failure(1, t0);
+        let later = t0 + Duration::from_millis(60);
+        assert!(b.allow(1, later));
+        b.record_failure(1, later);
+        assert_eq!(b.state(1), Some(FleetBreakerState::Open));
+        assert!(!b.allow(1, later + Duration::from_millis(10)));
+        assert_eq!(b.opens(1), 2);
+    }
+
+    #[test]
+    fn state_survives_without_the_peer() {
+        // The map never hears about peers directly — state is keyed by
+        // id and persists regardless of liveness. Trip worker 3, then
+        // "kill" it (nothing to do), and the record is still there.
+        let mut b = LocalityBreakers::new(cfg());
+        let t0 = Instant::now();
+        b.record_failure(3, t0);
+        b.record_failure(3, t0);
+        assert_eq!(b.state(3), Some(FleetBreakerState::Open));
+        assert_eq!(b.opens(3), 1);
+    }
+}

@@ -1,0 +1,304 @@
+//! Failover chaos tests: jobs survive locality death.
+//!
+//! Each test builds a 3-locality world — gateway on 0, fleet workers on
+//! 1 and 2 — and drives one failure mode end to end against the
+//! gateway's exactly-once ledger:
+//!
+//! * kill a worker mid-run → the lease is orphaned and re-dispatched
+//!   exactly once, completing elsewhere;
+//! * kill a worker *after* its job completed → a late duplicate push
+//!   cannot double-count the completion;
+//! * drain a loaded worker → queued jobs hand back with zero loss and
+//!   finish on the survivor;
+//! * Hold-partition the gateway from a worker, let the worker finish
+//!   behind the cut, hedge the job elsewhere, then heal → the stale
+//!   push is fenced by epoch, not double-counted.
+
+use grain_fleet::wire::{FleetOutcome, ACTION_COMPLETE};
+use grain_fleet::{
+    FleetConfig, FleetGateway, FleetJobSpec, FleetWorker, FleetWorkerConfig, Placement,
+};
+use grain_net::bootstrap::Fabric;
+use grain_net::locality::NetConfig;
+use grain_runtime::RuntimeConfig;
+use grain_service::JobState;
+use grain_sim::{NetPlan, PartitionMode};
+use std::time::{Duration, Instant};
+
+const PATIENCE: Duration = Duration::from_secs(30);
+
+fn eventually(cond: impl Fn() -> bool) -> bool {
+    let deadline = Instant::now() + PATIENCE;
+    while !cond() {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    true
+}
+
+fn loopback_world() -> Fabric {
+    Fabric::loopback(3, |i| RuntimeConfig {
+        workers: 1,
+        locality_id: i,
+        ..RuntimeConfig::default()
+    })
+}
+
+#[test]
+fn kill_during_run_redispatches_exactly_once() {
+    let fabric = loopback_world();
+    let w1 = FleetWorker::install(fabric.locality(1), FleetWorkerConfig::new(0, 1));
+    let w2 = FleetWorker::install(fabric.locality(2), FleetWorkerConfig::new(0, 1));
+    let mut cfg = FleetConfig::new(vec![1, 2]);
+    cfg.placement = Placement::Prefer(1);
+    let gateway = FleetGateway::install(fabric.locality(0), cfg);
+
+    // A parked job: it reaches worker 1 and starts running, but holds
+    // at the latch so the kill is guaranteed to land mid-run.
+    let handle = gateway.submit(FleetJobSpec::new("victim", "tenant-a").tasks(4).park(true));
+    let key = handle.key();
+    assert!(
+        eventually(|| gateway.lease_of(key) == Some(1)),
+        "job never leased on worker 1"
+    );
+    assert!(
+        eventually(|| w1.tracked_keys().contains(&key)),
+        "worker 1 never tracked the job"
+    );
+
+    fabric.kill(1);
+
+    // The orphaned lease re-dispatches; Prefer(1) is dead, so placement
+    // falls through to worker 2, where the copy parks again.
+    assert!(
+        eventually(|| w2.tracked_keys().contains(&key)),
+        "orphaned job never re-dispatched to worker 2"
+    );
+    w2.release_parked();
+    let outcome = handle.wait_timeout(PATIENCE).expect("job settles");
+    assert_eq!(outcome.state, JobState::Completed);
+    assert_eq!(
+        outcome.origin_locality,
+        Some(2),
+        "completion must name the locality that actually ran it"
+    );
+
+    let ledger = gateway.ledger();
+    assert_eq!(ledger.completed, 1, "exactly one completion: {ledger:?}");
+    assert_eq!(
+        ledger.orphaned, 1,
+        "the kill orphaned one lease: {ledger:?}"
+    );
+    assert_eq!(
+        ledger.redispatches, 1,
+        "orphan re-dispatched exactly once: {ledger:?}"
+    );
+    assert_eq!(ledger.dispatches, 2, "{ledger:?}");
+    assert!(ledger.conserved(), "ledger leaked: {ledger:?}");
+
+    drop(gateway);
+    drop(w2);
+    drop(w1);
+    fabric.shutdown();
+}
+
+#[test]
+fn kill_after_complete_does_not_double_count() {
+    let fabric = loopback_world();
+    let w1 = FleetWorker::install(fabric.locality(1), FleetWorkerConfig::new(0, 1));
+    let w2 = FleetWorker::install(fabric.locality(2), FleetWorkerConfig::new(0, 1));
+    let mut cfg = FleetConfig::new(vec![1, 2]);
+    cfg.placement = Placement::Prefer(1);
+    let gateway = FleetGateway::install(fabric.locality(0), cfg);
+
+    let handle = gateway.submit(FleetJobSpec::new("done-then-die", "tenant-a").tasks(4));
+    let key = handle.key();
+    let outcome = handle.wait_timeout(PATIENCE).expect("job settles");
+    assert_eq!(outcome.state, JobState::Completed);
+    assert_eq!(outcome.origin_locality, Some(1));
+
+    // The worker dies *after* the completion was recorded. Nothing is
+    // orphaned — the job is already terminal.
+    fabric.kill(1);
+    std::thread::sleep(Duration::from_millis(20));
+    let ledger = gateway.ledger();
+    assert_eq!(ledger.completed, 1);
+    assert_eq!(
+        ledger.orphaned, 0,
+        "terminal jobs are not orphaned: {ledger:?}"
+    );
+    assert_eq!(ledger.redispatches, 0, "{ledger:?}");
+
+    // A replayed completion push for the settled job (the frame a dying
+    // worker might have re-sent) is absorbed as a counted duplicate.
+    let forged = FleetOutcome {
+        key,
+        epoch: 1,
+        origin: 1,
+        state: JobState::Completed,
+        tasks_completed: 4,
+        tasks_spawned: 4,
+        tasks_faulted: 0,
+        exec_ns: 1,
+        retries: 0,
+        fault_msg: None,
+        reject: None,
+    };
+    let verdict = fabric
+        .locality(2)
+        .async_remote::<FleetOutcome, u8>(0, ACTION_COMPLETE, &forged)
+        .wait()
+        .expect("forged push settles");
+    assert_eq!(*verdict, 1, "duplicate push must be refused");
+
+    let ledger = gateway.ledger();
+    assert_eq!(ledger.completed, 1, "no double count: {ledger:?}");
+    assert_eq!(ledger.duplicates, 1, "{ledger:?}");
+    assert!(ledger.conserved(), "ledger leaked: {ledger:?}");
+
+    drop(gateway);
+    drop(w2);
+    drop(w1);
+    fabric.shutdown();
+}
+
+#[test]
+fn drain_hands_back_queued_jobs_with_zero_loss() {
+    let fabric = loopback_world();
+    // Worker 1 only has task budget for one 4-task job at a time, so
+    // the follow-on jobs queue behind the parked one.
+    let mut w1_cfg = FleetWorkerConfig::new(0, 1);
+    w1_cfg.service.admission.max_in_flight_tasks = 4;
+    let w1 = FleetWorker::install(fabric.locality(1), w1_cfg);
+    let w2 = FleetWorker::install(fabric.locality(2), FleetWorkerConfig::new(0, 1));
+    let mut cfg = FleetConfig::new(vec![1, 2]);
+    cfg.placement = Placement::Prefer(1);
+    let gateway = FleetGateway::install(fabric.locality(0), cfg);
+
+    let blocker = gateway.submit(FleetJobSpec::new("blocker", "tenant-a").tasks(4).park(true));
+    assert!(eventually(|| gateway.lease_of(blocker.key()) == Some(1)));
+    let queued: Vec<_> = (0..2)
+        .map(|i| gateway.submit(FleetJobSpec::new(format!("queued-{i}"), "tenant-a").tasks(4)))
+        .collect();
+    for h in &queued {
+        assert!(
+            eventually(|| gateway.lease_of(h.key()) == Some(1)),
+            "queued job never leased on worker 1"
+        );
+    }
+
+    let handed = gateway.drain(1).expect("drain settles");
+    assert_eq!(handed.len(), 2, "both queued jobs hand back: {handed:?}");
+    assert!(w1.draining());
+
+    // Handed-back jobs re-dispatch to the survivor and complete there;
+    // the running job finishes on the draining worker (drain is
+    // graceful, not a kill).
+    for h in &queued {
+        let o = h.wait_timeout(PATIENCE).expect("handed-back job settles");
+        assert_eq!(o.state, JobState::Completed, "zero loss across a drain");
+        assert_eq!(o.origin_locality, Some(2));
+    }
+    w1.release_parked();
+    let o = blocker.wait_timeout(PATIENCE).expect("running job settles");
+    assert_eq!(o.state, JobState::Completed);
+    assert_eq!(o.origin_locality, Some(1));
+
+    let ledger = gateway.ledger();
+    assert_eq!(ledger.completed, 3, "{ledger:?}");
+    assert_eq!(ledger.handed_back, 2, "{ledger:?}");
+    assert_eq!(ledger.redispatches, 2, "{ledger:?}");
+    assert_eq!(ledger.orphaned, 0, "{ledger:?}");
+    assert!(ledger.conserved(), "ledger leaked: {ledger:?}");
+
+    drop(gateway);
+    drop(w2);
+    drop(w1);
+    fabric.shutdown();
+}
+
+#[test]
+fn partition_then_heal_fences_stale_epoch() {
+    let fabric = Fabric::chaotic(
+        3,
+        NetPlan::clean(0xF1EE7).latency(1_000, 0),
+        |_| NetConfig::default(),
+        |i| RuntimeConfig {
+            workers: 1,
+            locality_id: i,
+            ..RuntimeConfig::default()
+        },
+    );
+    let w1 = FleetWorker::install(fabric.locality(1), FleetWorkerConfig::new(0, 1));
+    let w2 = FleetWorker::install(fabric.locality(2), FleetWorkerConfig::new(0, 1));
+    let mut cfg = FleetConfig::new(vec![1, 2]);
+    cfg.placement = Placement::Prefer(1);
+    // No liveness monitor runs here, so a Hold partition does not sever
+    // links: death detection never fires and failover rides the hedge
+    // timer + ack timeout + breaker instead.
+    cfg.lease_timeout = Some(Duration::from_millis(200));
+    cfg.ack_timeout = Duration::from_millis(100);
+    cfg.retry_backoff = Duration::from_millis(10);
+    cfg.breaker.failure_threshold = 1;
+    cfg.breaker.cooldown = Duration::from_secs(60);
+    let gateway = FleetGateway::install(fabric.locality(0), cfg);
+    let net = fabric.net().expect("chaotic world");
+
+    let handle = gateway.submit(FleetJobSpec::new("fenced", "tenant-a").tasks(4).park(true));
+    let key = handle.key();
+    assert!(eventually(|| gateway.lease_of(key) == Some(1)));
+    assert!(eventually(|| w1.tracked_keys().contains(&key)));
+
+    // Cut gateway↔worker-1 in Hold mode: frames park at the cut instead
+    // of dying. The worker finishes behind the partition — its epoch-1
+    // completion push is now parked in the cut.
+    net.partition_now(0, 1, PartitionMode::Hold);
+    w1.release_parked();
+
+    // The hedge re-dispatches: first retry at worker 1 parks at the cut
+    // and times out (tripping the breaker), then placement falls to
+    // worker 2 under a fresh epoch.
+    assert!(
+        eventually(|| w2.tracked_keys().contains(&key)),
+        "hedged job never reached worker 2"
+    );
+    assert!(eventually(|| gateway.lease_of(key) == Some(2)));
+
+    // Heal while worker 2's copy is still parked: the stale epoch-1
+    // push flushes out of the cut and must be *fenced*, because the
+    // job's current epoch has moved past it.
+    net.heal_now(0, 1);
+    assert!(
+        eventually(|| gateway.ledger().fenced >= 1),
+        "stale-epoch push was not fenced: {:?}",
+        gateway.ledger()
+    );
+    assert_eq!(
+        gateway.ledger().completed,
+        0,
+        "fenced push must not settle the job"
+    );
+
+    w2.release_parked();
+    let outcome = handle.wait_timeout(PATIENCE).expect("job settles");
+    assert_eq!(outcome.state, JobState::Completed);
+    assert_eq!(outcome.origin_locality, Some(2));
+
+    let ledger = gateway.ledger();
+    assert_eq!(ledger.completed, 1, "{ledger:?}");
+    assert_eq!(
+        ledger.completions, 1,
+        "exactly one push accepted: {ledger:?}"
+    );
+    assert!(ledger.hedged >= 1, "{ledger:?}");
+    assert!(ledger.fenced >= 1, "{ledger:?}");
+    assert!(ledger.conserved(), "ledger leaked: {ledger:?}");
+    assert!(gateway.breaker_opens(1) >= 1, "breaker must have tripped");
+
+    drop(gateway);
+    drop(w2);
+    drop(w1);
+    fabric.shutdown();
+}

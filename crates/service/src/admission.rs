@@ -85,6 +85,13 @@ pub enum RejectReason {
     BreakerOpen,
     /// The service was shutting down.
     ShuttingDown,
+    /// The fleet gateway had too little live capacity to place the job
+    /// before its deadline: alive workers were below the configured
+    /// quorum, so the job was shed rather than left to hang.
+    FleetUnavailable {
+        /// Suggested client back-off before resubmitting.
+        retry_after: Duration,
+    },
 }
 
 impl fmt::Display for RejectReason {
@@ -94,6 +101,9 @@ impl fmt::Display for RejectReason {
             RejectReason::Shed => write!(f, "shed"),
             RejectReason::BreakerOpen => write!(f, "breaker-open"),
             RejectReason::ShuttingDown => write!(f, "shutting-down"),
+            RejectReason::FleetUnavailable { retry_after } => {
+                write!(f, "fleet-unavailable (retry in {retry_after:?})")
+            }
         }
     }
 }
@@ -127,6 +137,17 @@ pub enum AdmissionError {
     },
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
+    /// The fleet gateway is below its capacity quorum: too few worker
+    /// localities are alive (and not draining) to place the job before
+    /// its deadline, so it is shed instead of hanging.
+    FleetUnavailable {
+        /// Worker localities currently alive and accepting.
+        alive: usize,
+        /// The minimum the gateway's quorum policy requires.
+        quorum: usize,
+        /// Suggested client back-off before resubmitting.
+        retry_after: Duration,
+    },
 }
 
 impl AdmissionError {
@@ -137,6 +158,11 @@ impl AdmissionError {
             AdmissionError::Shed { .. } => RejectReason::Shed,
             AdmissionError::BreakerOpen { .. } => RejectReason::BreakerOpen,
             AdmissionError::ShuttingDown => RejectReason::ShuttingDown,
+            AdmissionError::FleetUnavailable { retry_after, .. } => {
+                RejectReason::FleetUnavailable {
+                    retry_after: *retry_after,
+                }
+            }
         }
     }
 }
@@ -167,6 +193,14 @@ impl fmt::Display for AdmissionError {
                 )
             }
             AdmissionError::ShuttingDown => write!(f, "service is shutting down"),
+            AdmissionError::FleetUnavailable {
+                alive,
+                quorum,
+                retry_after,
+            } => write!(
+                f,
+                "fleet below capacity quorum ({alive} alive, quorum {quorum}; retry in {retry_after:?})"
+            ),
         }
     }
 }

@@ -432,6 +432,7 @@ impl JobCore {
             } else {
                 None
             },
+            origin_locality: None,
         }
     }
 }
@@ -470,6 +471,12 @@ pub struct JobOutcome {
     /// (backpressure, shed, breaker, shutdown); `None` otherwise. The
     /// full detail is in [`JobHandle::rejection`].
     pub reject_reason: Option<RejectReason>,
+    /// The locality the job actually ran on (or was refused by), when it
+    /// was executed remotely via a fleet gateway. `None` for jobs that
+    /// ran in the local service. Remote rejections carry the
+    /// *originating* worker's id here rather than folding it into an
+    /// error string.
+    pub origin_locality: Option<usize>,
 }
 
 /// Client-side handle to a submitted job. Cheap to clone; the job's

@@ -57,5 +57,5 @@ pub use fabric::{LedgerSnapshot, NetFabric, SimFrameClass, SimSink, SubmitOutcom
 pub use machine::MachineModel;
 pub use netplan::{FrameFate, NetPlan, PartitionMode, PartitionWindow, Verdict};
 pub use report::SimReport;
-pub use storm::{StormEvent, StormPlan, TenantStorm};
+pub use storm::{FleetAction, FleetChaos, FleetEvent, StormEvent, StormPlan, TenantStorm};
 pub use workload::{SimTaskSpec, SimWorkload};

@@ -265,6 +265,46 @@ impl NetPlan {
         }
     }
 
+    /// A stable 64-bit digest of the *whole* plan — seed and every
+    /// chaos knob, including partition windows. Two plans with equal
+    /// fingerprints produce identical fabric weather; bench snapshots
+    /// record it (alongside the bare seed) so result rows stay joinable
+    /// to the exact plan they ran under even when the plan's shape
+    /// changes between runs with the same seed. FNV-1a over a canonical
+    /// field serialization; floats contribute their IEEE bit patterns.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.seed);
+        eat(self.drop_p.to_bits());
+        eat(self.dup_p.to_bits());
+        eat(self.reorder_p.to_bits());
+        eat(self.reorder_window_ns);
+        eat(self.base_latency_ns);
+        eat(self.jitter_ns);
+        eat(self.bandwidth_bytes_per_sec.map_or(0, |b| b ^ 1));
+        eat(self.link_queue_cap.map_or(0, |c| c as u64 ^ 1));
+        eat(self.partitions.len() as u64);
+        for w in &self.partitions {
+            eat(w.a as u64);
+            eat(w.b as u64);
+            eat(w.start_ns);
+            eat(w.end_ns);
+            eat(match w.mode {
+                PartitionMode::Drop => 0,
+                PartitionMode::Hold => 1,
+            });
+        }
+        h
+    }
+
     /// Jitter applied when a frame parked by a [`PartitionMode::Hold`]
     /// window is flushed at heal time. A distinct derivation (the id is
     /// re-mixed with a flush salt) so the flush delay is independent of
@@ -288,6 +328,40 @@ mod tests {
             .duplicate(0.2)
             .reorder(0.5, 50_000)
             .latency(10_000, 20_000)
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_knob_sensitive() {
+        let a = chaotic();
+        assert_eq!(a.fingerprint(), chaotic().fingerprint());
+        // Every knob must move the digest: same seed, different weather
+        // must stay distinguishable in recorded bench rows.
+        assert_ne!(a.fingerprint(), NetPlan::clean(42).fingerprint());
+        assert_ne!(a.fingerprint(), chaotic().drop(0.3).fingerprint());
+        assert_ne!(a.fingerprint(), chaotic().bandwidth(1 << 20).fingerprint());
+        assert_ne!(a.fingerprint(), chaotic().queue_cap(8).fingerprint());
+        let parted = chaotic().partition(PartitionWindow {
+            a: 0,
+            b: 1,
+            start_ns: 5,
+            end_ns: 10,
+            mode: PartitionMode::Hold,
+        });
+        assert_ne!(a.fingerprint(), parted.fingerprint());
+        let dropped = chaotic().partition(PartitionWindow {
+            a: 0,
+            b: 1,
+            start_ns: 5,
+            end_ns: 10,
+            mode: PartitionMode::Drop,
+        });
+        assert_ne!(parted.fingerprint(), dropped.fingerprint());
+        // A seed change alone also moves it.
+        let reseeded = NetPlan {
+            seed: 43,
+            ..chaotic()
+        };
+        assert_ne!(a.fingerprint(), reseeded.fingerprint());
     }
 
     #[test]

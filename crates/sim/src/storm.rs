@@ -30,8 +30,18 @@
 //! (`recorded_storm_seed_is_bit_identical`) against a plan recorded when
 //! the split was established.
 
+use crate::netplan::splitmix64;
 use crate::rng::Pcg32;
 use std::time::Duration;
+
+/// Seed-space salt for the fleet-chaos stream ("fleetchaos" squeezed
+/// into 8 bytes). Mirrors [`crate::netplan::NET_STREAM_SALT`]: fleet
+/// kill/drain/partition draws share the user-facing seed with the
+/// tenant and network streams, so they must live in their own region of
+/// the seed space. The full `splitmix64` finalizer keeps the stream
+/// decorrelated from the tenant formula (`seed ^ golden·(idx+1)`),
+/// which is frozen by `recorded_storm_seed_is_bit_identical`.
+pub const FLEET_STREAM_SALT: u64 = 0x666c_6565_7463_6f73; // "fleetcos"
 
 /// The dependency-graph family a tenant's job bodies are drawn from.
 ///
@@ -155,6 +165,60 @@ pub struct StormEvent {
     pub family: GraphFamily,
 }
 
+/// A fleet-level chaos action applied to the worker fleet mid-storm.
+/// Pure description — the harness decides what "kill" or "drain" means
+/// (sever links, announce drain over the parcelport, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetAction {
+    /// The worker locality dies abruptly: links sever, in-flight work
+    /// is orphaned.
+    Kill {
+        /// The dying worker's locality id.
+        worker: usize,
+    },
+    /// The worker announces a graceful drain: it stops accepting and
+    /// hands queued jobs back.
+    Drain {
+        /// The draining worker's locality id.
+        worker: usize,
+    },
+    /// The gateway↔worker link partitions (the harness picks the
+    /// partition mode).
+    Partition {
+        /// The partitioned worker's locality id.
+        worker: usize,
+    },
+    /// The matching partition heals.
+    Heal {
+        /// The healing worker's locality id.
+        worker: usize,
+    },
+}
+
+/// One scheduled fleet-chaos action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetEvent {
+    /// Offset from the storm start (virtual time).
+    pub at: Duration,
+    /// What happens.
+    pub action: FleetAction,
+}
+
+/// Knobs for [`StormPlan::with_fleet_chaos`].
+#[derive(Debug, Clone, Copy)]
+pub struct FleetChaos {
+    /// Workers killed over the storm (distinct victims, clamped to the
+    /// fleet size minus one so at least one worker survives).
+    pub kills: usize,
+    /// Graceful drains (victims drawn independently of kills; draining
+    /// an already-dead worker is a harness no-op).
+    pub drains: usize,
+    /// Partition/heal cycles on gateway↔worker links.
+    pub partitions: usize,
+    /// How long each partition holds before its heal event.
+    pub partition_window: Duration,
+}
+
 /// A full, deterministic storm: every event of every tenant, merged and
 /// sorted by submission time.
 #[derive(Debug, Clone)]
@@ -162,6 +226,11 @@ pub struct StormPlan {
     /// All events, sorted by `at` (ties broken by tenant then name, so
     /// the order is total and seed-stable).
     pub events: Vec<StormEvent>,
+    /// Fleet-chaos actions (kill/drain/partition/heal), sorted by `at`.
+    /// Empty unless [`StormPlan::with_fleet_chaos`] was applied; drawn
+    /// from a salted stream disjoint from the tenant streams, so adding
+    /// fleet chaos never perturbs the submission schedule.
+    pub fleet: Vec<FleetEvent>,
     /// The horizon the plan covers.
     pub horizon: Duration,
 }
@@ -219,7 +288,65 @@ impl StormPlan {
                 .then_with(|| a.tenant.cmp(&b.tenant))
                 .then_with(|| a.name.cmp(&b.name))
         });
-        Self { events, horizon }
+        Self {
+            events,
+            fleet: Vec::new(),
+            horizon,
+        }
+    }
+
+    /// Overlay a seeded schedule of fleet-chaos actions on the plan.
+    ///
+    /// Draws come from one dedicated Pcg32 stream seeded
+    /// `splitmix64(seed ^ FLEET_STREAM_SALT)` — disjoint from both the
+    /// tenant streams and every NetPlan stream — so the same user-facing
+    /// seed can drive submissions, network weather, and fleet chaos
+    /// without any of the three perturbing the others. All actions land
+    /// in the middle 10%–85% of the horizon: chaos at the very edges
+    /// either precedes any work or outlives it. Kill victims are
+    /// distinct and at least one worker always survives.
+    pub fn with_fleet_chaos(mut self, seed: u64, workers: &[usize], chaos: &FleetChaos) -> Self {
+        let mut rng = Pcg32::seed_from_u64(splitmix64(seed ^ FLEET_STREAM_SALT));
+        let horizon_s = self.horizon.as_secs_f64();
+        let draw_at =
+            |rng: &mut Pcg32| Duration::from_secs_f64(horizon_s * (0.10 + 0.75 * rng.next_f64()));
+        let mut fleet = Vec::new();
+        if !workers.is_empty() {
+            // Kills: sample distinct victims, leaving at least one
+            // survivor.
+            let kills = chaos.kills.min(workers.len().saturating_sub(1));
+            let mut pool: Vec<usize> = workers.to_vec();
+            for _ in 0..kills {
+                let pick = rng.range_u64(pool.len() as u64) as usize;
+                let worker = pool.swap_remove(pick);
+                fleet.push(FleetEvent {
+                    at: draw_at(&mut rng),
+                    action: FleetAction::Kill { worker },
+                });
+            }
+            for _ in 0..chaos.drains {
+                let worker = workers[rng.range_u64(workers.len() as u64) as usize];
+                fleet.push(FleetEvent {
+                    at: draw_at(&mut rng),
+                    action: FleetAction::Drain { worker },
+                });
+            }
+            for _ in 0..chaos.partitions {
+                let worker = workers[rng.range_u64(workers.len() as u64) as usize];
+                let at = draw_at(&mut rng);
+                fleet.push(FleetEvent {
+                    at,
+                    action: FleetAction::Partition { worker },
+                });
+                fleet.push(FleetEvent {
+                    at: at + chaos.partition_window,
+                    action: FleetAction::Heal { worker },
+                });
+            }
+        }
+        fleet.sort_by_key(|e| e.at);
+        self.fleet = fleet;
+        self
     }
 
     /// Events belonging to `tenant`, in submission order.
@@ -372,6 +499,106 @@ mod tests {
             .of_tenant("alpha")
             .all(|e| e.family == GraphFamily::Stencil));
         assert!(plain.events.iter().all(|e| e.family == GraphFamily::Flat));
+    }
+
+    fn some_chaos() -> FleetChaos {
+        FleetChaos {
+            kills: 2,
+            drains: 1,
+            partitions: 1,
+            partition_window: Duration::from_millis(400),
+        }
+    }
+
+    #[test]
+    fn fleet_chaos_rides_along_without_perturbing_streams() {
+        let plain = StormPlan::generate(7, Duration::from_secs(5), &three_tenants());
+        let chaotic = StormPlan::generate(7, Duration::from_secs(5), &three_tenants())
+            .with_fleet_chaos(7, &[1, 2, 3], &some_chaos());
+        assert_eq!(
+            plain.events, chaotic.events,
+            "fleet chaos draws from its own stream; submissions unchanged"
+        );
+        assert!(plain.fleet.is_empty());
+        assert!(!chaotic.fleet.is_empty());
+    }
+
+    #[test]
+    fn fleet_chaos_is_deterministic_and_bounded() {
+        let a = StormPlan::generate(7, Duration::from_secs(5), &three_tenants()).with_fleet_chaos(
+            7,
+            &[1, 2, 3],
+            &some_chaos(),
+        );
+        let b = StormPlan::generate(7, Duration::from_secs(5), &three_tenants()).with_fleet_chaos(
+            7,
+            &[1, 2, 3],
+            &some_chaos(),
+        );
+        assert_eq!(a.fleet, b.fleet);
+        for w in a.fleet.windows(2) {
+            assert!(w[0].at <= w[1].at, "fleet events sorted");
+        }
+        for e in &a.fleet {
+            assert!(e.at >= Duration::from_millis(500), "not before 10%");
+            // Heals may stretch past 85% by the partition window.
+            assert!(e.at <= Duration::from_millis(4650), "within horizon");
+        }
+    }
+
+    #[test]
+    fn fleet_kills_leave_a_survivor_and_are_distinct() {
+        let plan = StormPlan::generate(3, Duration::from_secs(5), &three_tenants())
+            .with_fleet_chaos(
+                3,
+                &[1, 2],
+                &FleetChaos {
+                    kills: 5,
+                    drains: 0,
+                    partitions: 0,
+                    partition_window: Duration::ZERO,
+                },
+            );
+        let victims: Vec<usize> = plan
+            .fleet
+            .iter()
+            .filter_map(|e| match e.action {
+                FleetAction::Kill { worker } => Some(worker),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(victims.len(), 1, "kills clamp to fleet size - 1");
+        let mut dedup = victims.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), victims.len(), "victims are distinct");
+    }
+
+    #[test]
+    fn fleet_partitions_pair_with_heals() {
+        let plan = StormPlan::generate(11, Duration::from_secs(5), &three_tenants())
+            .with_fleet_chaos(
+                11,
+                &[1, 2, 3],
+                &FleetChaos {
+                    kills: 0,
+                    drains: 0,
+                    partitions: 3,
+                    partition_window: Duration::from_millis(200),
+                },
+            );
+        let cuts = plan
+            .fleet
+            .iter()
+            .filter(|e| matches!(e.action, FleetAction::Partition { .. }))
+            .count();
+        let heals = plan
+            .fleet
+            .iter()
+            .filter(|e| matches!(e.action, FleetAction::Heal { .. }))
+            .count();
+        assert_eq!(cuts, 3);
+        assert_eq!(heals, 3);
     }
 
     #[test]

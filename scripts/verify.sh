@@ -95,6 +95,30 @@ grep -q '^OK$' results/taskbench.txt || {
     exit 1
 }
 
+echo "==> fleetstorm replay determinism"
+# The fleet headline: a multi-tenant storm routed through the gateway
+# across three worker localities while the harness kills, drains, and
+# partitions them — exactly-once completion accounting asserted per
+# batch (ledger conserved, fault windows exact), plus six targeted
+# failover stages (orphan re-dispatch, duplicate fencing, drain
+# hand-back, stale-epoch fence after partition/heal, quorum shedding,
+# remote-reject origin). The binary replays itself once in-process;
+# running it twice as separate processes and diffing proves the report
+# is deterministic across process boundaries too.
+cargo run --release -p grain-bench --bin fleetstorm --offline -- --quick \
+    | tee results/fleetstorm.txt
+grep -q '^OK$' results/fleetstorm.txt || {
+    echo "fleetstorm did not complete" >&2
+    exit 1
+}
+cargo run --release -p grain-bench --bin fleetstorm --offline -- --quick \
+    > results/fleetstorm_replay.txt
+cmp -s results/fleetstorm.txt results/fleetstorm_replay.txt || {
+    echo "fleetstorm reports diverged across processes" >&2
+    diff results/fleetstorm.txt results/fleetstorm_replay.txt >&2 || true
+    exit 1
+}
+
 echo "==> unwrap-free hot paths"
 # The worker dispatch loop, the scheduler search, the lock-free queue,
 # the service dispatcher, and the overload path (admission + pressure)
@@ -109,6 +133,9 @@ echo "==> unwrap-free hot paths"
 # The chaos layer joins too: the locality's dispatch/dedup/monitor
 # paths, the transport seam, and the simulated fabric's pump thread all
 # run on threads whose panic silently kills delivery for a whole world.
+# And the whole fleet crate: the gateway pump and the worker's
+# submit/push handlers run on threads whose panic strands every leased
+# job — exactly the hang the plane exists to prevent.
 for f in crates/runtime/src/worker.rs crates/runtime/src/queue.rs \
     crates/runtime/src/scheduler.rs crates/service/src/service.rs \
     crates/service/src/admission.rs crates/service/src/pressure.rs \
@@ -116,7 +143,10 @@ for f in crates/runtime/src/worker.rs crates/runtime/src/queue.rs \
     crates/net/src/locality.rs crates/net/src/transport.rs \
     crates/sim/src/fabric.rs crates/sim/src/netplan.rs \
     crates/taskbench/src/graph.rs crates/taskbench/src/exec_local.rs \
-    crates/taskbench/src/exec_service.rs crates/taskbench/src/exec_net.rs; do
+    crates/taskbench/src/exec_service.rs crates/taskbench/src/exec_net.rs \
+    crates/fleet/src/wire.rs crates/fleet/src/stats.rs \
+    crates/fleet/src/breaker.rs crates/fleet/src/worker.rs \
+    crates/fleet/src/gateway.rs; do
     grep -q 'deny(clippy::unwrap_used)' "$f" || {
         echo "missing #![deny(clippy::unwrap_used)] in $f" >&2
         exit 1

@@ -7,6 +7,7 @@
 
 pub use grain_adaptive as adaptive;
 pub use grain_counters as counters;
+pub use grain_fleet as fleet;
 pub use grain_metrics as metrics;
 pub use grain_net as net;
 pub use grain_runtime as runtime;
