@@ -248,6 +248,7 @@ fn main() {
     }
     let snap = BenchSnapshot::new("dist")
         .config("quick", quick)
+        .config("features", grain_bench::hotpath_features())
         .config("chaos_seed", chaos.map_or(-1i64, |s| s as i64))
         // The seed alone does not pin the weather — the probability and
         // latency knobs matter too. The fingerprint hashes the whole

@@ -796,6 +796,7 @@ fn main() {
 
     let snap = BenchSnapshot::new("fleet")
         .config("quick", quick)
+        .config("features", grain_bench::hotpath_features())
         .config("seed", seed as i64)
         .config(
             "host_parallelism",

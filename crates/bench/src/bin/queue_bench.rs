@@ -401,6 +401,7 @@ fn main() {
     let worst_4plus = section_a(quick);
     let mut snap = BenchSnapshot::new("queue")
         .config("quick", quick)
+        .config("features", grain_bench::hotpath_features())
         .config(
             "host_parallelism",
             std::thread::available_parallelism().map_or(0, |n| n.get()),

@@ -345,6 +345,32 @@ fn main() {
         resilient.breaker_opens >= 1,
         "the chaos tenant's breaker must trip under the storm"
     );
+    // Record the run in the service trajectory, features-stamped so
+    // hot-path before/after pairs are readable straight from the file.
+    let snap = grain_metrics::BenchSnapshot::new("service")
+        .config("quick", cli.quick)
+        .config("features", grain_bench::hotpath_features())
+        .config("workers", workers)
+        .config(
+            "host_parallelism",
+            std::thread::available_parallelism().map_or(0, |n| n.get()),
+        )
+        .metric("jobs_per_sec", total_jobs as f64 / elapsed)
+        .metric(
+            "p50_turnaround_ms",
+            percentile(&all_turnarounds, 0.50).as_secs_f64() * 1e3,
+        )
+        .metric(
+            "p99_turnaround_ms",
+            percentile(&all_turnarounds, 0.99).as_secs_f64() * 1e3,
+        )
+        .metric("breaker_opens_resilient", resilient.breaker_opens);
+    let out = std::path::Path::new("results/BENCH_service.json");
+    match grain_metrics::append_snapshot(out, &snap) {
+        Ok(()) => println!("\nrecorded snapshot -> {}", out.display()),
+        Err(e) => eprintln!("\nwarning: could not record {}: {e}", out.display()),
+    }
+
     println!("\nok: >=3 tenants served, >=1 job cancelled, >=1 rejected, overload compared");
 }
 

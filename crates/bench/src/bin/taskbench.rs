@@ -273,6 +273,7 @@ fn main() {
 
     let snap = BenchSnapshot::new("taskbench")
         .config("quick", quick)
+        .config("features", grain_bench::hotpath_features())
         .config("seed", seed)
         .config("workers", WORKERS)
         .config("host_parallelism", host)

@@ -128,7 +128,12 @@ impl<'a> Reader<'a> {
     /// Length-prefixed UTF-8 string.
     pub fn string(&mut self) -> Result<String, CodecError> {
         let b = self.bytes()?;
-        String::from_utf8(b.to_vec()).map_err(|_| CodecError::Utf8)
+        // Validate in place, then copy exactly once on success —
+        // `String::from_utf8(b.to_vec())` copies before validating, so
+        // corrupt input paid an allocation just to be rejected.
+        std::str::from_utf8(b)
+            .map(str::to_owned)
+            .map_err(|_| CodecError::Utf8)
     }
 
     /// Assert the input is fully consumed (frame decoding ends with this
@@ -187,6 +192,30 @@ impl Writer {
     /// The encoded bytes.
     pub fn into_vec(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// Adopt `buf`'s allocation for encoding, discarding its contents.
+    /// The send path threads recycled frame buffers back through here
+    /// (feature `parcel-reuse`), so steady-state encodes stop touching
+    /// the allocator.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { buf }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Reset for reuse, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
 }
 
@@ -343,6 +372,14 @@ impl Frame {
     /// payload). The parcelport adds the transport length prefix.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.into_vec()
+    }
+
+    /// Encode into an existing writer (appends one whole frame). The
+    /// allocation-free counterpart of [`Frame::encode`] for callers
+    /// that recycle buffers.
+    pub fn encode_into(&self, w: &mut Writer) {
         w.buf.extend_from_slice(&MAGIC);
         w.u8(VERSION);
         match self {
@@ -390,7 +427,7 @@ impl Frame {
                     }
                     Err(fault) => {
                         w.u8(1);
-                        fault.encode(&mut w);
+                        fault.encode(w);
                     }
                 }
             }
@@ -407,7 +444,6 @@ impl Frame {
                 w.u64(*nonce);
             }
         }
-        w.into_vec()
     }
 
     /// Decode one frame; total over arbitrary bytes.
@@ -452,11 +488,15 @@ impl Frame {
                 call_id: r.u64()?,
                 origin: r.u32()?,
                 action: r.string()?,
+                // Single necessary copy: the frame buffer is borrowed
+                // and the decoded `Frame` owns its payload (the buffer
+                // is recycled or dropped right after decode).
                 args: r.bytes()?.to_vec(),
             },
             TAG_REPLY => {
                 let call_id = r.u64()?;
                 let outcome = match r.u8()? {
+                    // Single necessary copy, as for Call args above.
                     0 => Ok(r.bytes()?.to_vec()),
                     1 => Err(WireFault::decode(&mut r)?),
                     t => return Err(CodecError::Tag(t)),

@@ -359,7 +359,7 @@ impl LocalityShared {
         if let Some(deadline) = self.config.liveness_deadline {
             let links: Vec<Arc<Link>> = self.links.read().values().cloned().collect();
             let now = Instant::now();
-            let mut stale: Vec<usize> = Vec::new();
+            let mut stale: Vec<usize> = Vec::with_capacity(links.len());
             {
                 let heard = self.last_heard.lock();
                 for link in &links {

@@ -40,6 +40,8 @@
 
 #![deny(clippy::unwrap_used)]
 
+#[cfg(feature = "parcel-reuse")]
+use crate::codec::Writer;
 use crate::codec::{CodecError, Frame, MAX_FRAME};
 use crate::counters::ParcelCounters;
 use crate::transport::{LoopbackTransport, SimTransport, TcpTransport, Transport};
@@ -207,6 +209,22 @@ impl SendQueue {
         self.state.lock().bytes
     }
 
+    /// Dequeue without blocking: `None` when the queue is momentarily
+    /// empty, drained-and-closed, or severed. The writer loop uses this
+    /// to detect queue-empty moments and flush coalesced bytes before
+    /// blocking in [`SendQueue::pop`].
+    #[cfg(feature = "parcel-reuse")]
+    fn try_pop(&self) -> Option<(Vec<u8>, bool)> {
+        let mut st = self.state.lock();
+        if st.severed {
+            return None;
+        }
+        let item = st.frames.pop_front()?;
+        st.bytes -= item.0.len();
+        self.not_full.notify_one();
+        Some(item)
+    }
+
     /// Stop accepting sends; the writer drains what is queued, then exits.
     fn close(&self) {
         let mut st = self.state.lock();
@@ -233,6 +251,49 @@ impl SendQueue {
 /// can race with partner propagation.
 type SeverHook = Box<dyn Fn() + Send + Sync>;
 
+/// Recycled frame buffers for one link's send path (feature
+/// `parcel-reuse`): `send`/`try_send` encode into a pooled buffer, and
+/// the writer loop returns it once the transport has copied the bytes
+/// onward. Bounded in count and retained capacity so one jumbo frame
+/// can't pin memory forever.
+#[cfg(feature = "parcel-reuse")]
+struct BufPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+}
+
+#[cfg(feature = "parcel-reuse")]
+impl BufPool {
+    /// More pooled buffers than frames that can be "in hand" at once
+    /// (senders encoding + writer returning) is waste; the send queue
+    /// holds its frames' allocations itself.
+    const MAX_POOLED: usize = 32;
+    /// Don't retain jumbo-frame allocations.
+    const MAX_RETAINED_CAP: usize = 64 * 1024;
+
+    fn new() -> Self {
+        Self {
+            bufs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A cleared buffer, recycled when available.
+    fn take(&self) -> Vec<u8> {
+        self.bufs.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a buffer for reuse.
+    fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > Self::MAX_RETAINED_CAP {
+            return;
+        }
+        buf.clear();
+        let mut bufs = self.bufs.lock();
+        if bufs.len() < Self::MAX_POOLED {
+            bufs.push(buf);
+        }
+    }
+}
+
 /// One directed lane from the owning locality to `peer`.
 ///
 /// Created via [`Link::tcp`], [`loopback_pair`], or [`sim_pair`]; send
@@ -254,6 +315,9 @@ pub struct Link {
     /// Tunable (see [`Link::set_send_timeout`]) so stall tests and chaos
     /// harnesses don't wait out the production-sized window.
     send_timeout_ns: AtomicU64,
+    /// Recycled frame buffers for this link's send path.
+    #[cfg(feature = "parcel-reuse")]
+    pool: BufPool,
 }
 
 impl Link {
@@ -273,7 +337,23 @@ impl Link {
             partner: Mutex::new(Weak::new()),
             sever_hook,
             send_timeout_ns: AtomicU64::new(SEND_TIMEOUT.as_nanos() as u64),
+            #[cfg(feature = "parcel-reuse")]
+            pool: BufPool::new(),
         })
+    }
+
+    /// Encode `frame` for this link: into a pooled, recycled buffer
+    /// under `parcel-reuse`, a fresh allocation otherwise.
+    #[cfg(feature = "parcel-reuse")]
+    fn encode_frame(&self, frame: &Frame) -> Vec<u8> {
+        let mut w = Writer::from_vec(self.pool.take());
+        frame.encode_into(&mut w);
+        w.into_vec()
+    }
+
+    #[cfg(not(feature = "parcel-reuse"))]
+    fn encode_frame(&self, frame: &Frame) -> Vec<u8> {
+        frame.encode()
     }
 
     /// Wrap an already-handshaken TCP socket as a link to `peer`.
@@ -344,7 +424,7 @@ impl Link {
     /// rejected parcel under `/parcels/count/dropped`, and returns
     /// [`SendError::Backpressure`] naming the peer.
     pub fn send(&self, frame: &Frame) -> Result<(), SendError> {
-        let bytes = frame.encode();
+        let bytes = self.encode_frame(frame);
         let parcel = frame.is_parcel();
         match self.queue.push(bytes, parcel, self.send_timeout()) {
             Ok(()) => Ok(()),
@@ -365,7 +445,7 @@ impl Link {
     /// sent this round — a congested-but-draining link must not be
     /// declared dead by its own monitor.
     pub fn try_send(&self, frame: &Frame) -> Result<(), SendError> {
-        let bytes = frame.encode();
+        let bytes = self.encode_frame(frame);
         let parcel = frame.is_parcel();
         match self.queue.push(bytes, parcel, Duration::ZERO) {
             Ok(()) => Ok(()),
@@ -503,20 +583,54 @@ fn spawn_writer<T: Transport>(link: &Arc<Link>, transport: T, sender_id: usize) 
 /// Drain the send queue into the transport until closed/severed, bumping
 /// the owning side's sent counters per delivered parcel. A transport
 /// refusal severs the link.
+///
+/// Under `parcel-reuse` the loop drains opportunistically: frames are
+/// taken without blocking while the queue has them (letting a
+/// coalescing transport batch a burst into one write), the transport is
+/// flushed the moment the queue goes empty (so a buffered frame never
+/// waits on future traffic), and buffers the transport hands back are
+/// recycled into the link's pool. Per-parcel counters are bumped
+/// identically in both modes — coalescing changes syscall granularity,
+/// never the books.
 fn writer_loop<T: Transport>(link: Arc<Link>, mut transport: T) {
-    while let Some((bytes, parcel)) = link.queue.pop() {
+    loop {
+        #[cfg(feature = "parcel-reuse")]
+        let item = match link.queue.try_pop() {
+            Some(item) => Some(item),
+            None => {
+                if transport.flush().is_err() {
+                    link.sever();
+                    return;
+                }
+                link.queue.pop()
+            }
+        };
+        #[cfg(not(feature = "parcel-reuse"))]
+        let item = link.queue.pop();
+        let Some((bytes, parcel)) = item else { break };
         let n = bytes.len();
-        if transport.deliver(bytes, parcel).is_err() {
-            link.sever();
-            return;
+        match transport.deliver(bytes, parcel) {
+            Err(_) => {
+                link.sever();
+                return;
+            }
+            Ok(returned) => {
+                #[cfg(feature = "parcel-reuse")]
+                if let Some(buf) = returned {
+                    link.pool.put(buf);
+                }
+                #[cfg(not(feature = "parcel-reuse"))]
+                drop(returned);
+            }
         }
         if parcel {
             link.counters.sent.incr();
             link.counters.bytes_sent.add(n as u64);
         }
     }
-    // Graceful drain complete: let the transport flush (e.g. TCP shuts
-    // its write side down so the peer sees a trailing Goodbye, then EOF).
+    // Graceful drain complete: let the transport flush (e.g. TCP pushes
+    // any coalesced bytes, then shuts its write side down so the peer
+    // sees a trailing Goodbye, then EOF).
     transport.finish();
 }
 

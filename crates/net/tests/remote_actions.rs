@@ -194,6 +194,51 @@ fn counters_appear_in_each_runtime_registry() {
     f.shutdown();
 }
 
+/// Books balance over real sockets under a burst of small Call frames —
+/// the exact traffic shape the `parcel-reuse` coalescing path batches
+/// into one syscall per link flush. Every reply must carry the right
+/// value (no frame torn or reordered by coalescing), every parcel must
+/// be counted once on each side, and the final flush must not strand a
+/// tail of frames in the write buffer. Runs in both feature states; with
+/// `parcel-reuse` off it pins the baseline the feature must match.
+#[test]
+fn tcp_books_balance_under_small_frame_bursts() {
+    let root = tcp_root("127.0.0.1:0", 2, RuntimeConfig::with_workers(2)).expect("root");
+    let addr = root.listen_addr().to_string();
+    let n1 = tcp_join(&addr, RuntimeConfig::with_workers(2)).expect("join");
+    assert!(root.wait_for_world(WAIT), "root never saw the full world");
+    assert!(n1.wait_for_world(WAIT), "n1 never saw the full world");
+
+    n1.locality().register_action("triple", |x: u64| x * 3);
+    const CALLS: u64 = 300;
+    let futures: Vec<_> = (0..CALLS)
+        .map(|i| root.locality().async_remote::<u64, u64>(1, "triple", &i))
+        .collect();
+    for (i, fut) in futures.iter().enumerate() {
+        assert_eq!(
+            *fut.wait_timeout(WAIT).expect("settled"),
+            i as u64 * 3,
+            "reply {i} corrupted"
+        );
+    }
+
+    // Every call future settled, so every Call and Reply parcel has been
+    // dispatched; coalesced or not, the books must balance exactly.
+    let sent = root.locality().parcels().sent.get() + n1.locality().parcels().sent.get();
+    let received =
+        root.locality().parcels().received.get() + n1.locality().parcels().received.get();
+    assert_eq!(sent, received, "sent {sent} vs received {received}");
+    assert_eq!(sent, 2 * CALLS, "one Call and one Reply per invocation");
+    let bytes_sent =
+        root.locality().parcels().bytes_sent.get() + n1.locality().parcels().bytes_sent.get();
+    let bytes_received = root.locality().parcels().bytes_received.get()
+        + n1.locality().parcels().bytes_received.get();
+    assert_eq!(bytes_sent, bytes_received, "byte books must balance");
+
+    root.stop_listening();
+    n1.stop_listening();
+}
+
 #[test]
 fn tcp_world_bootstraps_and_serves_actions() {
     // Three localities in one process, over real sockets on 127.0.0.1.

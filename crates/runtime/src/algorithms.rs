@@ -39,7 +39,9 @@ pub fn parallel_for(
 ) -> SharedFuture<()> {
     let body = Arc::new(body);
     let grain = grain.max(1);
-    let mut chunks = Vec::new();
+    // The fan-out width is known up front — size the handle list once
+    // instead of letting it double its way up through reallocations.
+    let mut chunks = Vec::with_capacity(range.end.saturating_sub(range.start).div_ceil(grain));
     let mut lo = range.start;
     while lo < range.end {
         let hi = (lo + grain).min(range.end);
@@ -79,7 +81,8 @@ where
     let map = Arc::new(map);
     let reduce = Arc::new(reduce);
     let grain = grain.max(1);
-    let mut chunks = Vec::new();
+    // Known fan-out width, as in `parallel_for`.
+    let mut chunks = Vec::with_capacity(range.end.saturating_sub(range.start).div_ceil(grain));
     let mut lo = range.start;
     while lo < range.end {
         let hi = (lo + grain).min(range.end);

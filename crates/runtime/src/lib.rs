@@ -63,6 +63,8 @@ pub mod group;
 pub mod queue;
 pub mod runtime;
 pub mod scheduler;
+#[cfg(feature = "task-slab")]
+pub mod slab;
 pub mod task;
 pub mod trace;
 mod worker;

@@ -1,0 +1,440 @@
+//! Generation-tagged slab for task body frames (feature `task-slab`).
+//!
+//! Every spawn needs somewhere to put the task's closure — its *body
+//! frame*. The default path `Box`es it, which costs one
+//! malloc/free round trip per task; at the paper's fine-grain end
+//! (tasks of a few microseconds) that round trip is a measurable slice
+//! of t_o (Eq. 1). This module recycles those frames instead:
+//!
+//! * Frames live in fixed-size **size-class slots** (64/128/256/512
+//!   payload bytes, 16-byte aligned). A spawn takes a slot from the
+//!   matching class's free list, or mints a fresh one only when the
+//!   list is empty; dropping the body returns the slot. Steady-state
+//!   spawn traffic therefore touches the global allocator only while
+//!   the arena is still growing toward the peak number of concurrently
+//!   live tasks.
+//! * Every slot carries a **generation counter**, bumped each time the
+//!   slot is freed. Handles ([`FrameHandle`]) pair the slot address
+//!   with the generation observed at allocation, so a stale handle —
+//!   one that outlived its task — probes as a clean miss (`None`),
+//!   never as a read of whichever task recycled the slot. Slots are
+//!   *never* returned to the OS (the free lists only grow to the
+//!   high-water mark), which is what makes probing a stale handle safe
+//!   rather than a use-after-free.
+//! * The closure is type-erased through a two-entry vtable (call +
+//!   drop) instead of a `Box<dyn FnMut>`: same dynamic dispatch cost,
+//!   no per-task heap allocation. Closures larger than the biggest
+//!   class (or over-aligned) fall back to the plain `Box` path and are
+//!   counted under [`ArenaStats::oversize`].
+//!
+//! The arena is process-global ([`global`]) so every spawn path — the
+//! runtime's, the benches' direct `StagedTask` constructions, tests —
+//! shares one pool. Tests that need deterministic slot reuse build a
+//! private leaked arena instead.
+//!
+//! Future `Shared` state (`future.rs`) deliberately stays on the global
+//! allocator: a shared future is jointly owned by any number of
+//! consumers through an `Arc`, so its storage cannot be recycled on a
+//! single drop the way a uniquely-owned body frame can. The common
+//! `async_call`/`dataflow` spawns still route their promise *through*
+//! the pooled frame (the promise is captured by the closure), so the
+//! per-async allocation count drops from two to one amortized.
+
+#![deny(clippy::unwrap_used)]
+
+use crate::runtime::TaskContext;
+use crate::task::{Poll, TaskBody, TaskId};
+use grain_counters::sync::Mutex;
+use std::alloc::Layout;
+use std::marker::PhantomData;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Payload bytes per size class. Spawn-path closures (an `Option`-ed
+/// user `FnOnce` plus a promise and captured inputs) cluster in the
+/// 32–300 byte range; 512 covers the fat tail of dataflow nodes
+/// capturing a `Vec` of dependency values.
+const CLASS_SIZES: [usize; 4] = [64, 128, 256, 512];
+
+/// Strictest closure alignment a slot supports. Stricter closures
+/// (rare: explicit SIMD captures) take the `Box` fallback.
+const MAX_ALIGN: usize = 16;
+
+/// `task_id` value of a slot not currently owned by a live body.
+const FREE_ID: u64 = u64::MAX;
+
+/// Per-slot bookkeeping, laid out immediately before the payload.
+#[repr(C)]
+struct SlotHeader {
+    /// Bumped on every free; a handle whose generation no longer
+    /// matches is stale.
+    gen: AtomicU32,
+    /// Size-class index, fixed at mint time.
+    class: u32,
+    /// Owning task while occupied, [`FREE_ID`] while free. Read by
+    /// [`FrameHandle::probe`] under a generation seqlock.
+    task_id: AtomicU64,
+}
+
+// The payload starts at `base + HEADER`; keeping the header exactly 16
+// bytes keeps the payload at MAX_ALIGN for free.
+const HEADER: usize = 16;
+const _: () = assert!(std::mem::size_of::<SlotHeader>() == HEADER);
+const _: () = assert!(std::mem::align_of::<SlotHeader>() <= MAX_ALIGN);
+
+/// A raw pointer to a minted slot. Slots are plain memory with atomic
+/// headers; moving the pointer between threads is safe, and exclusive
+/// payload access is enforced by `PooledBody` ownership.
+struct SlotPtr(NonNull<SlotHeader>);
+unsafe impl Send for SlotPtr {}
+
+fn slot_layout(class: usize) -> Layout {
+    // Infallible for the fixed class table; checked in debug builds.
+    Layout::from_size_align(HEADER + CLASS_SIZES[class], MAX_ALIGN)
+        .expect("slot layout is statically valid")
+}
+
+fn payload_ptr(slot: NonNull<SlotHeader>) -> *mut u8 {
+    unsafe { slot.as_ptr().cast::<u8>().add(HEADER) }
+}
+
+/// Allocation-traffic counters, readable for observability and tests.
+#[derive(Debug, Default)]
+pub struct ArenaStats {
+    /// Frames served from a recycled slot.
+    pub reused: AtomicU64,
+    /// Frames that minted a fresh slot (arena growth).
+    pub minted: AtomicU64,
+    /// Frames that fell back to the `Box` path (too big / over-aligned).
+    pub oversize: AtomicU64,
+}
+
+/// The slab: one free list per size class plus traffic stats.
+pub struct BodyArena {
+    free: [Mutex<Vec<SlotPtr>>; CLASS_SIZES.len()],
+    stats: ArenaStats,
+}
+
+impl BodyArena {
+    /// An empty arena. `const` so the process-global instance needs no
+    /// lazy initialization on the spawn path.
+    pub const fn new() -> Self {
+        Self {
+            free: [
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+            ],
+            stats: ArenaStats {
+                reused: AtomicU64::new(0),
+                minted: AtomicU64::new(0),
+                oversize: AtomicU64::new(0),
+            },
+        }
+    }
+
+    /// Allocation-traffic counters.
+    pub fn stats(&self) -> &ArenaStats {
+        &self.stats
+    }
+
+    /// Store `body` in a pooled frame owned by `task_id`, falling back
+    /// to the heap when no size class fits.
+    pub fn alloc<F>(&'static self, task_id: TaskId, body: F) -> TaskBody
+    where
+        F: FnMut(&mut TaskContext<'_>) -> Poll + Send + 'static,
+    {
+        let size = std::mem::size_of::<F>();
+        let align = std::mem::align_of::<F>();
+        let Some(class) = CLASS_SIZES
+            .iter()
+            .position(|&c| size <= c)
+            .filter(|_| align <= MAX_ALIGN)
+        else {
+            self.stats.oversize.fetch_add(1, Ordering::Relaxed);
+            return TaskBody::Heap(Box::new(body));
+        };
+        let slot = match self.free[class].lock().pop() {
+            Some(s) => {
+                self.stats.reused.fetch_add(1, Ordering::Relaxed);
+                s
+            }
+            None => {
+                self.stats.minted.fetch_add(1, Ordering::Relaxed);
+                mint_slot(class)
+            }
+        };
+        let slot = slot.0;
+        unsafe {
+            let hdr = slot.as_ref();
+            hdr.task_id.store(task_id.0, Ordering::Release);
+            // The slot is exclusively ours (off every free list, header
+            // says occupied); writing the closure into the payload is a
+            // plain initialization.
+            payload_ptr(slot).cast::<F>().write(body);
+            TaskBody::Pooled(PooledBody {
+                slot,
+                gen: hdr.gen.load(Ordering::Acquire),
+                vtable: &VTableOf::<F>::VTABLE,
+                arena: self,
+            })
+        }
+    }
+}
+
+impl Default for BodyArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-global arena every spawn path shares.
+pub fn global() -> &'static BodyArena {
+    static GLOBAL: BodyArena = BodyArena::new();
+    &GLOBAL
+}
+
+fn mint_slot(class: usize) -> SlotPtr {
+    let layout = slot_layout(class);
+    let raw = unsafe { std::alloc::alloc(layout) }.cast::<SlotHeader>();
+    let Some(slot) = NonNull::new(raw) else {
+        std::alloc::handle_alloc_error(layout)
+    };
+    unsafe {
+        slot.as_ptr().write(SlotHeader {
+            gen: AtomicU32::new(0),
+            class: class as u32,
+            task_id: AtomicU64::new(FREE_ID),
+        });
+    }
+    SlotPtr(slot)
+}
+
+/// Call/drop vtable for a type-erased closure stored in a slot payload.
+struct BodyVTable {
+    /// # Safety: `payload` must point at a live, initialized `F`.
+    call: unsafe fn(payload: *mut u8, ctx: &mut TaskContext<'_>) -> Poll,
+    /// # Safety: `payload` must point at a live, initialized `F`; the
+    /// value is dead afterwards.
+    drop_in_place: unsafe fn(payload: *mut u8),
+}
+
+unsafe fn call_erased<F>(payload: *mut u8, ctx: &mut TaskContext<'_>) -> Poll
+where
+    F: FnMut(&mut TaskContext<'_>) -> Poll + Send + 'static,
+{
+    (*payload.cast::<F>())(ctx)
+}
+
+unsafe fn drop_erased<F>(payload: *mut u8) {
+    std::ptr::drop_in_place(payload.cast::<F>());
+}
+
+struct VTableOf<F>(PhantomData<F>);
+
+impl<F> VTableOf<F>
+where
+    F: FnMut(&mut TaskContext<'_>) -> Poll + Send + 'static,
+{
+    const VTABLE: BodyVTable = BodyVTable {
+        call: call_erased::<F>,
+        drop_in_place: drop_erased::<F>,
+    };
+}
+
+/// A task body living in a pooled slot. Uniquely owns the slot's
+/// payload; dropping it destroys the closure, bumps the generation
+/// (invalidating outstanding [`FrameHandle`]s), and recycles the slot.
+pub struct PooledBody {
+    slot: NonNull<SlotHeader>,
+    gen: u32,
+    vtable: &'static BodyVTable,
+    arena: &'static BodyArena,
+}
+
+// The stored closure is `Send` (bounded at `alloc`), the header is
+// atomics, and payload access is exclusive through `&mut self`.
+unsafe impl Send for PooledBody {}
+
+impl PooledBody {
+    /// Run one phase of the stored closure.
+    #[inline]
+    pub(crate) fn call(&mut self, ctx: &mut TaskContext<'_>) -> Poll {
+        debug_assert_eq!(
+            unsafe { self.slot.as_ref() }.gen.load(Ordering::Acquire),
+            self.gen,
+            "pooled body frame outlived its generation"
+        );
+        unsafe { (self.vtable.call)(payload_ptr(self.slot), ctx) }
+    }
+
+    /// A weak, copyable reference to this frame's slot + generation.
+    pub fn handle(&self) -> FrameHandle {
+        FrameHandle {
+            addr: self.slot.as_ptr() as usize,
+            gen: self.gen,
+        }
+    }
+}
+
+impl Drop for PooledBody {
+    fn drop(&mut self) {
+        unsafe {
+            (self.vtable.drop_in_place)(payload_ptr(self.slot));
+            let hdr = self.slot.as_ref();
+            hdr.task_id.store(FREE_ID, Ordering::Release);
+            // Invalidate handles *before* the slot becomes takeable, so
+            // no window exists where a stale handle can observe the
+            // next occupant under the old generation.
+            hdr.gen.fetch_add(1, Ordering::Release);
+            let class = hdr.class as usize;
+            self.arena.free[class].lock().push(SlotPtr(self.slot));
+        }
+    }
+}
+
+/// A generation-tagged reference to a (possibly former) body frame.
+///
+/// Probing never dereferences freed memory — slots are permanent — and
+/// never reports another task's identity: the generation check brackets
+/// the id read, so a recycled slot is always a clean `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHandle {
+    addr: usize,
+    gen: u32,
+}
+
+impl FrameHandle {
+    /// The owning task, or `None` if the frame was freed (and possibly
+    /// recycled) since this handle was taken.
+    pub fn probe(self) -> Option<TaskId> {
+        let hdr = unsafe { &*(self.addr as *const SlotHeader) };
+        if hdr.gen.load(Ordering::Acquire) != self.gen {
+            return None;
+        }
+        let id = hdr.task_id.load(Ordering::Acquire);
+        // Re-check: a concurrent free/realloc between the two loads
+        // would have bumped the generation before publishing a new id.
+        if hdr.gen.load(Ordering::Acquire) != self.gen || id == FREE_ID {
+            return None;
+        }
+        Some(TaskId(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    /// A private arena with deterministic free lists (the global one is
+    /// shared with every concurrently running test).
+    fn private_arena() -> &'static BodyArena {
+        Box::leak(Box::new(BodyArena::new()))
+    }
+
+    fn call_once(body: &mut TaskBody) -> Poll {
+        // Exercising a body requires a TaskContext, which requires a
+        // runtime; route through a real one-worker runtime instead.
+        let rt = crate::Runtime::with_workers(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        let b = std::mem::replace(body, TaskBody::Heap(Box::new(|_| Poll::Complete)));
+        let mut b = Some(b);
+        rt.async_call(move |ctx| {
+            let mut b = b.take().expect("single run");
+            let p = b.call(ctx);
+            d.fetch_add(1, Ordering::SeqCst);
+            matches!(p, Poll::Complete)
+        })
+        .get();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        Poll::Complete
+    }
+
+    #[test]
+    fn recycles_slots_and_detects_stale_handles() {
+        let arena = private_arena();
+        let touched = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&touched);
+        let body = arena.alloc(TaskId(7), move |_ctx| {
+            t.fetch_add(1, Ordering::SeqCst);
+            Poll::Complete
+        });
+        let TaskBody::Pooled(body) = body else {
+            panic!("small closure must pool");
+        };
+        let stale = body.handle();
+        assert_eq!(stale.probe(), Some(TaskId(7)), "live handle resolves");
+        drop(body);
+        assert_eq!(stale.probe(), None, "freed frame probes as a miss");
+
+        // The freed slot is recycled for the next same-class frame; the
+        // stale handle still misses cleanly — never task 8's identity.
+        let body2 = arena.alloc(TaskId(8), move |_ctx| Poll::Complete);
+        let TaskBody::Pooled(body2) = body2 else {
+            panic!("small closure must pool");
+        };
+        assert_eq!(
+            body2.handle().probe(),
+            Some(TaskId(8)),
+            "new occupant resolves via its own handle"
+        );
+        assert_eq!(
+            stale.handle_addr(),
+            body2.handle().handle_addr(),
+            "slot was recycled (single-threaded arena: LIFO free list)"
+        );
+        assert_eq!(
+            stale.probe(),
+            None,
+            "stale handle must miss, not read the recycled occupant"
+        );
+        assert_eq!(arena.stats().reused.load(Ordering::Relaxed), 1);
+        assert_eq!(arena.stats().minted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pooled_body_runs_and_drops_captures_exactly_once() {
+        struct DropTally(Arc<AtomicUsize>);
+        impl Drop for DropTally {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let arena = private_arena();
+        let drops = Arc::new(AtomicUsize::new(0));
+        let tally = DropTally(Arc::clone(&drops));
+        let mut body = arena.alloc(TaskId(1), move |_ctx| {
+            let _keep = &tally;
+            Poll::Complete
+        });
+        call_once(&mut body);
+        drop(body);
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            1,
+            "captured values drop exactly once with the frame"
+        );
+    }
+
+    #[test]
+    fn oversize_closures_fall_back_to_the_heap() {
+        let arena = private_arena();
+        let big = [0u8; 600];
+        let body = arena.alloc(TaskId(2), move |_ctx| {
+            std::hint::black_box(&big);
+            Poll::Complete
+        });
+        assert!(matches!(body, TaskBody::Heap(_)));
+        assert_eq!(arena.stats().oversize.load(Ordering::Relaxed), 1);
+    }
+
+    impl FrameHandle {
+        fn handle_addr(self) -> usize {
+            self.addr
+        }
+    }
+}

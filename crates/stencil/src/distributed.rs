@@ -247,7 +247,8 @@ impl DistStencil {
         if let Some(promise) = promise {
             when_all(&current).on_settled(move |settled| match settled {
                 Ok(parts) => {
-                    let mut flat = Vec::new();
+                    let total = parts.iter().map(|p| p.len()).sum();
+                    let mut flat = Vec::with_capacity(total);
                     for p in parts.iter() {
                         flat.extend_from_slice(p);
                     }

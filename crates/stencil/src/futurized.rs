@@ -93,10 +93,15 @@ pub fn collect_result(parts: &[SharedFuture<Partition>]) -> Vec<f64> {
 /// mid-DAG panic is reachable through [`TaskError::root_cause`] —
 /// instead of blocking forever.
 pub fn try_collect_result(parts: &[SharedFuture<Partition>]) -> Result<Vec<f64>, TaskError> {
-    let mut grid = Vec::new();
+    // Settle every partition first, then flatten into one exactly-sized
+    // allocation instead of growing the grid through doublings.
+    let mut vals = Vec::with_capacity(parts.len());
     for f in parts {
-        let part = f.wait_timeout(JOIN_TIMEOUT)?;
-        grid.extend_from_slice(&part);
+        vals.push(f.wait_timeout(JOIN_TIMEOUT)?);
+    }
+    let mut grid = Vec::with_capacity(vals.iter().map(|p| p.len()).sum());
+    for part in &vals {
+        grid.extend_from_slice(part);
     }
     Ok(grid)
 }

@@ -72,6 +72,46 @@ fn every_family_agrees_across_executors() {
     }
 }
 
+/// Bit-identity across *feature configurations*, not just executors:
+/// the checksum of this fixed spec is pinned to a constant, so a run
+/// with `task-slab`/`coarse-clock`/`parcel-reuse` enabled must produce
+/// the exact same bits as the default build — in a different process,
+/// on a different day. The hot-path features recycle allocations and
+/// batch clock reads; none of them may perturb a single payload byte.
+#[test]
+fn pinned_golden_checksum_is_identical_in_every_feature_configuration() {
+    const GOLDEN: u64 = 0x2FF4_1252_9F64_BCE0;
+    let graph = Arc::new(
+        GraphSpec::shape(
+            GraphKind::RandomDag {
+                width: 5,
+                steps: 6,
+                max_deps: 2,
+            },
+            0x5EED_CAFE,
+        )
+        .grain(25)
+        .payload(96)
+        .build(),
+    );
+    assert_eq!(
+        graph.checksum_reference(),
+        GOLDEN,
+        "sequential reference drifted from the pinned golden"
+    );
+    let rt = Runtime::with_workers(2);
+    assert_eq!(
+        run_local(&rt, &graph).expect("local"),
+        GOLDEN,
+        "runtime executor drifted from the pinned golden"
+    );
+    assert_eq!(
+        run_distributed_loopback(2, 1, &graph).expect("distributed"),
+        GOLDEN,
+        "parcel path drifted from the pinned golden"
+    );
+}
+
 /// Seed sensitivity survives execution: two seeds give two different
 /// checksums on every executor (so the equivalence tests above cannot
 /// pass vacuously via a constant).

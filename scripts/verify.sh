@@ -18,6 +18,20 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> cargo test (hot-path feature matrix)"
+# The three hot-path levers (DESIGN.md §15) must each pass the tier-1
+# suite alone and all together. Per-lever runs cover the crate that owns
+# the lever plus the cross-crate golden-checksum pin (bit-identity of
+# results with the lever on); the combined run covers the whole
+# workspace with everything on at once.
+cargo test -p grain-runtime --features task-slab --offline -q
+cargo test -p grain-runtime --features coarse-clock --offline -q
+cargo test -p grain-net --features parcel-reuse --offline -q
+cargo test -p grain-taskbench --features grain-runtime/task-slab \
+    --offline -q --test executors pinned_golden
+cargo test --workspace --offline -q \
+    --features grain-runtime/task-slab,grain-runtime/coarse-clock,grain-net/parcel-reuse
+
 echo "==> cargo test (fault-inject)"
 # The deterministic fault-injection hooks are compiled out by default;
 # exercise the injected-panic/delay/spurious-wake paths and the seeded
@@ -45,6 +59,15 @@ grep -q '^OK$' results/queue_bench.txt || {
     echo "queue_bench did not complete" >&2
     exit 1
 }
+# The same bounded run with the hot-path levers on, appending the
+# "after" half of the before/after pair (EXPERIMENTS.md, hot-path
+# section) to results/BENCH_queue.json.
+cargo run --release -p grain-bench --features hotpath --bin queue_bench \
+    --offline -- --quick > results/queue_bench_hotpath.txt
+grep -q '^OK$' results/queue_bench_hotpath.txt || {
+    echo "queue_bench (hotpath) did not complete" >&2
+    exit 1
+}
 
 echo "==> dist smoke"
 # The distribution layer end to end: a 2-locality in-process stencil
@@ -56,6 +79,13 @@ cargo run --release -p grain-bench --bin dist_bench --offline -- --quick \
     | tee results/dist_bench.txt
 grep -q '^OK$' results/dist_bench.txt || {
     echo "dist_bench did not complete" >&2
+    exit 1
+}
+# "After" half of the hot-path pair for the parcel path.
+cargo run --release -p grain-bench --features hotpath --bin dist_bench \
+    --offline -- --quick > results/dist_bench_hotpath.txt
+grep -q '^OK$' results/dist_bench_hotpath.txt || {
+    echo "dist_bench (hotpath) did not complete" >&2
     exit 1
 }
 
@@ -94,6 +124,29 @@ grep -q '^OK$' results/taskbench.txt || {
     echo "taskbench did not complete" >&2
     exit 1
 }
+# "After" half of the hot-path pair for the task spawn/dispatch path.
+cargo run --release -p grain-bench --features hotpath --bin taskbench \
+    --offline -- --quick > results/taskbench_hotpath.txt
+grep -q '^OK$' results/taskbench_hotpath.txt || {
+    echo "taskbench (hotpath) did not complete" >&2
+    exit 1
+}
+
+echo "==> BENCH trajectory stamps"
+# Every bench above appended features-stamped snapshots; assert each
+# trajectory actually gained a commit-stamped before (baseline) and
+# after (all levers) entry from this tree, so a stale results/ dir or a
+# silently-skipped append can't masquerade as a recorded pair.
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+for b in queue dist taskbench; do
+    for feats in 'baseline' 'task-slab+coarse-clock+parcel-reuse'; do
+        grep -q "\"commit\":\"$commit\".*\"features\":\"$feats\"" \
+            "results/BENCH_$b.json" || {
+            echo "BENCH_$b.json has no $feats snapshot for $commit" >&2
+            exit 1
+        }
+    done
+done
 
 echo "==> fleetstorm replay determinism"
 # The fleet headline: a multi-tenant storm routed through the gateway
@@ -136,7 +189,10 @@ echo "==> unwrap-free hot paths"
 # And the whole fleet crate: the gateway pump and the worker's
 # submit/push handlers run on threads whose panic strands every leased
 # job — exactly the hang the plane exists to prevent.
+# The task-body slab joins: it holds every pooled task frame, so an
+# unwrap there corrupts spawns across all workers at once.
 for f in crates/runtime/src/worker.rs crates/runtime/src/queue.rs \
+    crates/runtime/src/slab.rs \
     crates/runtime/src/scheduler.rs crates/service/src/service.rs \
     crates/service/src/admission.rs crates/service/src/pressure.rs \
     crates/net/src/parcelport.rs crates/net/src/codec.rs \
