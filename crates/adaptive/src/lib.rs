@@ -19,7 +19,10 @@
 //!   the grid in place (the production shape of the paper's goal);
 //! * [`policy`] — an APEX-style policy engine (§VI): composable rules
 //!   that adapt grain size *and* throttle the worker pool
-//!   (Porterfield-style core adaptation, §V) from the same counters.
+//!   (Porterfield-style core adaptation, §V) from the same counters;
+//! * [`strategy`] — the per-tenant [`strategy::GrainStrategy`] seam the
+//!   `grain-autotune` service policy drives: the same tuner engines
+//!   repackaged as deterministic per-job state machines.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,6 +30,7 @@
 pub mod driver;
 pub mod online;
 pub mod policy;
+pub mod strategy;
 pub mod threshold;
 pub mod tuner;
 
@@ -35,6 +39,9 @@ pub use online::{run_online, OnlineEpoch, OnlineRun};
 pub use policy::{
     run_policy_driven, run_policy_epochs, Action, GrainPolicy, Policy, PolicyContext, PolicyEngine,
     PolicyRun, ThrottlePolicy,
+};
+pub use strategy::{
+    strategy_for, GrainSignal, GrainStrategy, HillClimbStrategy, StrategyKind, ThresholdStrategy,
 };
 pub use threshold::{nx_minimizing_pending_accesses, smallest_nx_below_idle_rate, Selection};
 pub use tuner::{HillClimber, Observation, ThresholdTuner, Tuner, TunerConfig};

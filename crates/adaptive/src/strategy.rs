@@ -1,0 +1,262 @@
+//! Pluggable grain-selection strategies for the autotune service policy.
+//!
+//! `crates/autotune` drives one [`GrainStrategy`] per tenant: after each
+//! completed job it feeds the job's windowed signals (the paper's
+//! counter set — Eq.-1 idle rate, overhead fraction, pending-miss rate,
+//! tasks-per-core regime) and receives the grain to use for the
+//! tenant's *next* job. The two shipped strategies wrap the existing
+//! [`tuner`](crate::tuner) engines so the offline/epoch demos and the
+//! online service loop share one decision core.
+
+#![deny(clippy::unwrap_used)]
+
+use crate::tuner::{HillClimber, Observation, ThresholdTuner, Tuner, TunerConfig};
+
+/// One completed job's worth of grain signals, as seen by a strategy.
+///
+/// All fields are windowed over the job that just finished, not
+/// cumulative over the tenant's lifetime — the controller is reacting
+/// to the *current* regime, not the tenant's history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrainSignal {
+    /// Idle-rate over the job (Eq. 1): 1 − Σt_exec / Σt_func.
+    pub idle_rate: f64,
+    /// Overhead fraction: task-management time over total thread time.
+    /// For uncontended runs this tracks `idle_rate`; under contention it
+    /// isolates the t_o component.
+    pub overhead_frac: f64,
+    /// Fraction of pending-queue pops that missed (stole or spun).
+    /// The paper's §IV-E signal: minimized near the optimal grain.
+    pub pending_miss_rate: f64,
+    /// Tasks available per core for this job (`n_tasks / n_cores`):
+    /// below ~2 is the coarse, starvation-prone regime.
+    pub tasks_per_core: f64,
+    /// Useful throughput over the job, work units per second.
+    pub throughput: f64,
+}
+
+impl GrainSignal {
+    /// The scalar "too fine" pressure a threshold rule reacts to: the
+    /// worst of the idle-rate and overhead-fraction signals (either one
+    /// alone marks the overhead-bound regime).
+    pub fn fine_pressure(&self) -> f64 {
+        self.idle_rate.max(self.overhead_frac)
+    }
+}
+
+/// A per-tenant grain-selection strategy.
+///
+/// Strategies are deterministic state machines: the same sequence of
+/// observations always yields the same sequence of grains. That is what
+/// makes the autotune storms replayable bit-for-bit.
+pub trait GrainStrategy: Send {
+    /// Human-readable name for reports and counters.
+    fn name(&self) -> &'static str;
+    /// The grain (work units per task) the next job should use.
+    fn grain(&self) -> u64;
+    /// Feed one completed job's signals; returns the next grain.
+    fn observe(&mut self, sig: &GrainSignal) -> u64;
+    /// True once the strategy has stopped moving.
+    fn converged(&self) -> bool;
+}
+
+/// Threshold strategy: the paper's idle-rate/tasks-per-core rule
+/// ([`ThresholdTuner`]) applied to per-job service signals.
+#[derive(Debug, Clone)]
+pub struct ThresholdStrategy {
+    inner: ThresholdTuner,
+}
+
+impl ThresholdStrategy {
+    /// New strategy starting at `cfg.initial_nx` work units per task.
+    pub fn new(cfg: TunerConfig) -> Self {
+        Self {
+            inner: ThresholdTuner::new(cfg),
+        }
+    }
+}
+
+impl GrainStrategy for ThresholdStrategy {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn grain(&self) -> u64 {
+        self.inner.current_nx() as u64
+    }
+
+    fn observe(&mut self, sig: &GrainSignal) -> u64 {
+        // The pending-miss rate folds into the fine-pressure signal:
+        // misses mean workers hunting for work that is too small to
+        // keep them fed, the same overhead-bound regime as a high
+        // idle rate (§IV-E tracks §IV-A at the optimum).
+        let pressure = sig.fine_pressure().max(sig.pending_miss_rate);
+        self.inner.observe(Observation {
+            idle_rate: pressure,
+            points_per_s: sig.throughput,
+            tasks_per_core: sig.tasks_per_core,
+        }) as u64
+    }
+
+    fn converged(&self) -> bool {
+        self.inner.converged()
+    }
+}
+
+/// Hill-climb strategy: counter-free throughput search
+/// ([`HillClimber`]) — the ablation baseline that needs no runtime
+/// counters at all.
+#[derive(Debug, Clone)]
+pub struct HillClimbStrategy {
+    inner: HillClimber,
+}
+
+impl HillClimbStrategy {
+    /// New strategy starting at `cfg.initial_nx` work units per task.
+    pub fn new(cfg: TunerConfig) -> Self {
+        Self {
+            inner: HillClimber::new(cfg),
+        }
+    }
+}
+
+impl GrainStrategy for HillClimbStrategy {
+    fn name(&self) -> &'static str {
+        "hill-climb"
+    }
+
+    fn grain(&self) -> u64 {
+        self.inner.current_nx() as u64
+    }
+
+    fn observe(&mut self, sig: &GrainSignal) -> u64 {
+        self.inner.observe(Observation {
+            idle_rate: sig.fine_pressure(),
+            points_per_s: sig.throughput,
+            tasks_per_core: sig.tasks_per_core,
+        }) as u64
+    }
+
+    fn converged(&self) -> bool {
+        self.inner.converged()
+    }
+}
+
+/// Which strategy a tenant's controller runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyKind {
+    /// Counter-driven threshold rule (default; the paper's signals).
+    #[default]
+    Threshold,
+    /// Counter-free throughput hill climb (ablation baseline).
+    HillClimb,
+}
+
+/// Build a boxed strategy of the given kind.
+pub fn strategy_for(kind: StrategyKind, cfg: TunerConfig) -> Box<dyn GrainStrategy> {
+    match kind {
+        StrategyKind::Threshold => Box::new(ThresholdStrategy::new(cfg)),
+        StrategyKind::HillClimb => Box::new(HillClimbStrategy::new(cfg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(idle: f64, tpc: f64) -> GrainSignal {
+        GrainSignal {
+            idle_rate: idle,
+            overhead_frac: 0.0,
+            pending_miss_rate: 0.0,
+            tasks_per_core: tpc,
+            throughput: 0.0,
+        }
+    }
+
+    #[test]
+    fn threshold_strategy_grows_under_overhead() {
+        let mut s = ThresholdStrategy::new(TunerConfig::default());
+        let g0 = s.grain();
+        let g1 = s.observe(&sig(0.9, 100.0));
+        assert!(g1 > g0, "overhead-bound regime should coarsen the grain");
+    }
+
+    #[test]
+    fn threshold_strategy_shrinks_when_starving() {
+        let mut s = ThresholdStrategy::new(TunerConfig {
+            initial_nx: 1_000_000,
+            ..TunerConfig::default()
+        });
+        let g1 = s.observe(&sig(0.05, 0.5));
+        assert!(g1 < 1_000_000, "starvation should refine the grain");
+    }
+
+    #[test]
+    fn overhead_fraction_alone_triggers_growth() {
+        // idle_rate low but overhead_frac high: the Eq.-1 components
+        // disagree (contended run); the strategy must still coarsen.
+        let mut s = ThresholdStrategy::new(TunerConfig::default());
+        let g0 = s.grain();
+        let g1 = s.observe(&GrainSignal {
+            idle_rate: 0.05,
+            overhead_frac: 0.8,
+            pending_miss_rate: 0.0,
+            tasks_per_core: 100.0,
+            throughput: 0.0,
+        });
+        assert!(g1 > g0);
+    }
+
+    #[test]
+    fn pending_misses_alone_trigger_growth() {
+        let mut s = ThresholdStrategy::new(TunerConfig::default());
+        let g0 = s.grain();
+        let g1 = s.observe(&GrainSignal {
+            idle_rate: 0.05,
+            overhead_frac: 0.05,
+            pending_miss_rate: 0.9,
+            tasks_per_core: 100.0,
+            throughput: 0.0,
+        });
+        assert!(g1 > g0, "pending-queue churn marks too-fine grain");
+    }
+
+    #[test]
+    fn strategies_are_deterministic() {
+        // Same observation sequence → same grain trajectory; this is
+        // the property the replay-determinism gate leans on.
+        let run = |kind: StrategyKind| {
+            let mut s = strategy_for(kind, TunerConfig::default());
+            (0..12)
+                .map(|i| {
+                    s.observe(&GrainSignal {
+                        idle_rate: 0.8 / (i + 1) as f64,
+                        overhead_frac: 0.1,
+                        pending_miss_rate: 0.0,
+                        tasks_per_core: 8.0,
+                        throughput: 1e6 * (i + 1) as f64,
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        for kind in [StrategyKind::Threshold, StrategyKind::HillClimb] {
+            assert_eq!(run(kind), run(kind));
+        }
+    }
+
+    #[test]
+    fn hill_climb_converges_on_flat_landscape() {
+        let mut s = HillClimbStrategy::new(TunerConfig::default());
+        for _ in 0..20 {
+            s.observe(&GrainSignal {
+                idle_rate: 0.0,
+                overhead_frac: 0.0,
+                pending_miss_rate: 0.0,
+                tasks_per_core: 10.0,
+                throughput: 1e6, // never improves after the first
+            });
+        }
+        assert!(s.converged(), "flat landscape must tighten the step");
+    }
+}

@@ -1,0 +1,185 @@
+//! Convergence storms for the autotune controller (ISSUE satellite:
+//! seeded storm convergence + disabled-path regression).
+//!
+//! The storms drive [`Autotune`] with signals from the deterministic
+//! [`CostModel`] — the same machine the verify stage's smoke benchmark
+//! replays — so every assertion here is exact, not statistical:
+//!
+//! * a tenant starting at a **pathological grain** (≥10× or ≤0.1× the
+//!   hand-tuned optimum) converges within 8 jobs to a grain whose
+//!   measured per-task overhead is within 10% of the optimum's;
+//! * once a tenant enters its hysteresis band it **never oscillates**
+//!   under a steady workload;
+//! * with `enabled = false` the expansion every job gets is
+//!   **byte-identical** to the legacy fixed partition, forever.
+
+#![deny(clippy::unwrap_used)]
+
+use grain_adaptive::tuner::TunerConfig;
+use grain_autotune::{Autotune, AutotuneConfig, CostModel, ShapedWork};
+use grain_sim::storm::GraphFamily;
+
+const UNITS: u64 = 1 << 20;
+
+fn model() -> CostModel {
+    CostModel {
+        overhead_ns_per_task: 2_000.0,
+        ns_per_unit: 1.0,
+        cores: 4,
+    }
+}
+
+fn cfg_with_initial(initial_nx: usize) -> AutotuneConfig {
+    AutotuneConfig {
+        cores: 4,
+        tuner: TunerConfig {
+            initial_nx,
+            ..TunerConfig::default()
+        },
+        ..AutotuneConfig::default()
+    }
+}
+
+/// Run one tenant's modeled storm: each job expands at the controller's
+/// current grain, the model scores it, the controller observes the
+/// score. Returns the grain trace (one entry per job, pre-observation)
+/// and the job index at which the tenant first reported converged.
+fn run_storm(initial_nx: usize, jobs: usize) -> (Vec<u64>, Option<usize>) {
+    let m = model();
+    let auto = Autotune::new(cfg_with_initial(initial_nx));
+    let mut trace = Vec::with_capacity(jobs);
+    let mut converged_at = None;
+    for j in 0..jobs {
+        let g = auto.grain_for("tenant");
+        trace.push(g);
+        auto.observe("tenant", &m.signal(UNITS, g));
+        if converged_at.is_none() && auto.converged("tenant") {
+            converged_at = Some(j + 1);
+        }
+    }
+    (trace, converged_at)
+}
+
+#[test]
+fn pathologically_coarse_tenant_converges_within_eight_jobs() {
+    let m = model();
+    let optimal = m.optimal_grain(UNITS, &TunerConfig::default());
+    // ≥ 10× the optimum, clamped to the job itself: one giant task.
+    let start = (optimal * 10).min(UNITS) as usize;
+    assert!(start as u64 >= optimal.saturating_mul(4), "start is coarse");
+    let (trace, converged_at) = run_storm(start, 12);
+    let at = converged_at.expect("storm converged");
+    assert!(
+        at <= 8,
+        "converged after {at} jobs (want ≤ 8); trace {trace:?}"
+    );
+    let final_grain = *trace.last().expect("trace");
+    let to_opt = m.measured_overhead_ns(UNITS, optimal);
+    let to_conv = m.measured_overhead_ns(UNITS, final_grain);
+    assert!(
+        to_conv <= to_opt * 1.10,
+        "converged t_o {to_conv:.0}ns not within 10% of optimal {to_opt:.0}ns (grain {final_grain} vs {optimal})"
+    );
+}
+
+#[test]
+fn pathologically_fine_tenant_converges_within_eight_jobs() {
+    let m = model();
+    let optimal = m.optimal_grain(UNITS, &TunerConfig::default());
+    // ≤ 0.1× the optimum — deep in the overhead-bound regime.
+    let start = (optimal / 100).max(16) as usize;
+    assert!((start as u64) * 10 <= optimal, "start is fine");
+    let (trace, converged_at) = run_storm(start, 12);
+    let at = converged_at.expect("storm converged");
+    assert!(
+        at <= 8,
+        "converged after {at} jobs (want ≤ 8); trace {trace:?}"
+    );
+    let final_grain = *trace.last().expect("trace");
+    assert!(
+        final_grain > start as u64,
+        "overhead regime coarsened the grain"
+    );
+    let to_opt = m.measured_overhead_ns(UNITS, optimal);
+    let to_conv = m.measured_overhead_ns(UNITS, final_grain);
+    assert!(
+        to_conv <= to_opt * 1.10,
+        "converged t_o {to_conv:.0}ns not within 10% of optimal {to_opt:.0}ns (grain {final_grain} vs {optimal})"
+    );
+}
+
+#[test]
+fn no_oscillation_after_entering_the_hysteresis_band() {
+    let m = model();
+    let auto = Autotune::new(cfg_with_initial(UNITS as usize));
+    // Drive to convergence.
+    for _ in 0..12 {
+        let g = auto.grain_for("tenant");
+        auto.observe("tenant", &m.signal(UNITS, g));
+    }
+    assert!(auto.converged("tenant"));
+    let frozen = auto.grain_for("tenant");
+    let probes = auto.probes("tenant");
+    let adjustments = auto.adjustments("tenant");
+    // A steady workload must never move a frozen tenant again.
+    for _ in 0..20 {
+        let g = auto.grain_for("tenant");
+        assert_eq!(g, frozen, "grain moved after convergence");
+        auto.observe("tenant", &m.signal(UNITS, g));
+        assert!(auto.converged("tenant"), "tenant left the band");
+    }
+    assert_eq!(
+        auto.probes("tenant"),
+        probes,
+        "probe re-opened on steady load"
+    );
+    assert_eq!(auto.adjustments("tenant"), adjustments);
+}
+
+#[test]
+fn storms_replay_bit_identically() {
+    let coarse = || run_storm(UNITS as usize, 12);
+    let fine = || run_storm(64, 12);
+    assert_eq!(coarse(), coarse());
+    assert_eq!(fine(), fine());
+}
+
+#[test]
+fn disabled_autotune_is_byte_identical_to_the_fixed_partition() {
+    let fixed_grain = 4096usize;
+    let auto = Autotune::new(AutotuneConfig {
+        enabled: false,
+        ..cfg_with_initial(fixed_grain)
+    });
+    let shape = ShapedWork::Graph {
+        family: GraphFamily::Stencil,
+        total_iters: UNITS,
+        payload_bytes: 32,
+        seed: 41,
+        cov: grain_taskbench::Cov::Bimodal {
+            heavy_pct: 10,
+            ratio: 8,
+        },
+    };
+    // The legacy behavior: the submitter's partition, untouched.
+    let reference = shape
+        .expand(fixed_grain as u64)
+        .graph
+        .expect("graph shape")
+        .fingerprint();
+    let m = model();
+    for _ in 0..10 {
+        let g = auto.grain_for("tenant");
+        assert_eq!(g, fixed_grain as u64, "disabled controller moved");
+        let expanded = shape.expand(g);
+        assert_eq!(
+            expanded.graph.expect("graph shape").fingerprint(),
+            reference,
+            "disabled expansion diverged from the fixed partition"
+        );
+        // Feed it hostile signals; a pinned tenant must ignore them.
+        auto.observe("tenant", &m.signal(UNITS, g));
+    }
+    assert_eq!(auto.adjustments("tenant"), 0);
+    assert_eq!(auto.probes("tenant"), 0);
+}

@@ -1,0 +1,313 @@
+//! `autotune` — convergence storms for per-tenant granularity control.
+//!
+//! Two phases:
+//!
+//! 1. **Modeled storm (stdout, bit-replayable).** Three tenants start at
+//!    a pathologically coarse grain (≥10× the hand-tuned optimum — one
+//!    giant task), a pathologically fine one (≤0.1× — overhead-bound),
+//!    and an already-reasonable one. Each "job" is scored by the
+//!    deterministic [`CostModel`] — the paper's `t_o + grain·w` cost on
+//!    an idealized machine — so every line this phase prints is a pure
+//!    function of the program text. The verify gate runs it twice and
+//!    `cmp`s the transcripts; any wall-clock leak into a controller
+//!    decision would show up as a diff.
+//! 2. **Measured phase (stderr + JSON).** The same controller drives a
+//!    real [`JobService`] through the policy hook: one tenant submits a
+//!    `parallel_for` shape starting at one-task-per-job, with autotune
+//!    enabled and then disabled, and the per-job measured overhead
+//!    before/after convergence is appended to
+//!    `results/BENCH_autotune.json`. Nothing measured reaches stdout.
+//!
+//! **Caveat (single-core hosts)**: the measured phase derives idle rate
+//! from `turnaround × workers`; with one core the "idle" time is mostly
+//! OS scheduling and the before/after contrast flattens. The modeled
+//! phase is host-independent.
+//!
+//! Flags: `--quick` (fewer measured jobs for the CI smoke stage).
+
+use grain_adaptive::tuner::TunerConfig;
+use grain_autotune::{Autotune, AutotuneConfig, CostModel, ShapedWork};
+use grain_metrics::{append_snapshot, BenchSnapshot, JsonValue};
+use grain_service::{JobService, JobState, ServiceConfig};
+use std::path::Path;
+
+/// Work units per modeled job (busy-work iterations).
+const MODEL_UNITS: u64 = 1 << 20;
+/// Jobs per tenant in the modeled storm.
+const MODEL_JOBS: usize = 12;
+/// Workers for the measured phase.
+const WORKERS: usize = 4;
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: autotune [--quick]\n\
+         Runs the deterministic grain-convergence storm (stdout is\n\
+         bit-replayable) plus a measured autotune-on/off phase on a real\n\
+         job service, and records results/BENCH_autotune.json."
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 })
+}
+
+/// Outcome of one tenant's modeled storm.
+struct StormResult {
+    tenant: &'static str,
+    start_grain: u64,
+    final_grain: u64,
+    jobs_to_converge: Option<usize>,
+    adjustments: u64,
+    wall_ratio_vs_optimal: f64,
+    to_ratio_vs_optimal: f64,
+}
+
+impl StormResult {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("tenant".to_owned(), self.tenant.into()),
+            ("start_grain".to_owned(), (self.start_grain as i64).into()),
+            ("final_grain".to_owned(), (self.final_grain as i64).into()),
+            (
+                "jobs_to_converge".to_owned(),
+                self.jobs_to_converge
+                    .map_or(JsonValue::Int(-1), |j| JsonValue::Int(j as i64)),
+            ),
+            ("adjustments".to_owned(), (self.adjustments as i64).into()),
+            (
+                "wall_ratio_vs_optimal".to_owned(),
+                self.wall_ratio_vs_optimal.into(),
+            ),
+            (
+                "to_ratio_vs_optimal".to_owned(),
+                self.to_ratio_vs_optimal.into(),
+            ),
+        ])
+    }
+}
+
+/// Run one tenant's modeled storm, printing a deterministic per-job
+/// trace.
+fn modeled_storm(model: &CostModel, tenant: &'static str, initial_nx: usize) -> StormResult {
+    let optimal = model.optimal_grain(MODEL_UNITS, &TunerConfig::default());
+    let auto = Autotune::new(AutotuneConfig {
+        cores: model.cores,
+        tuner: TunerConfig {
+            initial_nx,
+            ..TunerConfig::default()
+        },
+        ..AutotuneConfig::default()
+    });
+    let mut jobs_to_converge = None;
+    let mut final_grain = initial_nx as u64;
+    println!("tenant {tenant}: start grain {initial_nx} (optimum {optimal})");
+    for j in 0..MODEL_JOBS {
+        let g = auto.grain_for(tenant);
+        final_grain = g;
+        let sig = model.signal(MODEL_UNITS, g);
+        println!(
+            "  job {j:>2}: grain {g:>8}  idle {:>5.3}  overhead {:>5.3}  tasks/core {:>8.2}  {}",
+            sig.idle_rate,
+            sig.overhead_frac,
+            sig.tasks_per_core,
+            if auto.converged(tenant) {
+                "frozen"
+            } else {
+                "probing"
+            },
+        );
+        auto.observe(tenant, &sig);
+        if jobs_to_converge.is_none() && auto.converged(tenant) {
+            jobs_to_converge = Some(j + 1);
+        }
+    }
+    let wall_ratio = model.wall_ns(MODEL_UNITS, final_grain) / model.wall_ns(MODEL_UNITS, optimal);
+    let to_ratio = model.measured_overhead_ns(MODEL_UNITS, final_grain)
+        / model.measured_overhead_ns(MODEL_UNITS, optimal);
+    println!(
+        "  -> converged {} after {} jobs, grain {final_grain}, wall {wall_ratio:.3}x optimal, \
+         t_o {to_ratio:.3}x optimal",
+        jobs_to_converge.is_some(),
+        jobs_to_converge.map_or(-1i64, |j| j as i64),
+    );
+    StormResult {
+        tenant,
+        start_grain: initial_nx as u64,
+        final_grain,
+        jobs_to_converge,
+        adjustments: auto.adjustments(tenant),
+        wall_ratio_vs_optimal: wall_ratio,
+        to_ratio_vs_optimal: to_ratio,
+    }
+}
+
+/// One measured job's digest (stderr + JSON only).
+struct MeasuredJob {
+    grain: u64,
+    tasks: u64,
+    wall_ms: f64,
+    overhead_ns_per_task: f64,
+}
+
+impl MeasuredJob {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("grain".to_owned(), (self.grain as i64).into()),
+            ("tasks".to_owned(), (self.tasks as i64).into()),
+            ("wall_ms".to_owned(), self.wall_ms.into()),
+            (
+                "overhead_ns_per_task".to_owned(),
+                self.overhead_ns_per_task.into(),
+            ),
+        ])
+    }
+}
+
+/// Drive a real service with a shaped tenant; returns per-job digests.
+fn measured_phase(enabled: bool, jobs: usize) -> Vec<MeasuredJob> {
+    let shape = ShapedWork::ParallelFor {
+        elements: 8192,
+        iters_per_element: 500,
+        seed: 17,
+    };
+    let units = shape.units();
+    let auto = Autotune::new(AutotuneConfig {
+        enabled,
+        cores: WORKERS,
+        tuner: TunerConfig {
+            // Pathologically coarse: the whole job as one task.
+            initial_nx: units as usize,
+            max_nx: units as usize,
+            ..TunerConfig::default()
+        },
+        ..AutotuneConfig::default()
+    });
+    let service = JobService::new(ServiceConfig {
+        policy: Some(auto.policy_hook()),
+        ..ServiceConfig::with_workers(WORKERS)
+    });
+    if let Err(e) = auto.attach(&service) {
+        eprintln!("warning: counter registration failed: {e:?}");
+    }
+    let mut digests = Vec::with_capacity(jobs);
+    for j in 0..jobs {
+        let grain = auto.grain_for("measured");
+        let outcome = auto
+            .submit_shaped(&service, &format!("measured-{j}"), "measured", &shape)
+            .wait();
+        if outcome.state != JobState::Completed {
+            eprintln!("warning: measured job {j} ended {:?}", outcome.state);
+            continue;
+        }
+        let wall = outcome.turnaround.as_secs_f64().max(1e-9);
+        let tasks = outcome.tasks_completed.max(1);
+        let machine_ns = wall * 1e9 * WORKERS as f64;
+        let overhead = (machine_ns - outcome.exec_ns as f64).max(0.0) / tasks as f64;
+        eprintln!(
+            "measured[{}] job {j}: grain {grain} tasks {tasks} wall {:.2}ms t_o {:.0}ns",
+            if enabled { "on" } else { "off" },
+            wall * 1e3,
+            overhead,
+        );
+        digests.push(MeasuredJob {
+            grain,
+            tasks,
+            wall_ms: wall * 1e3,
+            overhead_ns_per_task: overhead,
+        });
+    }
+    digests
+}
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    // ---- Phase 1: the deterministic modeled storm (stdout). ----
+    let model = CostModel {
+        overhead_ns_per_task: 2_000.0,
+        ns_per_unit: 1.0,
+        cores: 4,
+    };
+    let optimal = model.optimal_grain(MODEL_UNITS, &TunerConfig::default());
+    println!(
+        "autotune convergence storm: {MODEL_UNITS} units/job, modeled t_o \
+         {}ns, {} cores, optimum grain {optimal}",
+        model.overhead_ns_per_task as u64, model.cores,
+    );
+    println!();
+    let coarse_start = (optimal.saturating_mul(10)).min(MODEL_UNITS) as usize;
+    let fine_start = ((optimal / 100).max(16)) as usize;
+    let tuned_start = (optimal / 8).max(16) as usize;
+    let storms = [
+        modeled_storm(&model, "coarse-10x", coarse_start),
+        modeled_storm(&model, "fine-0.01x", fine_start),
+        modeled_storm(&model, "reasonable", tuned_start),
+    ];
+    println!();
+    let mut failed = false;
+    for s in &storms {
+        let converged = s.jobs_to_converge.is_some_and(|j| j <= 8);
+        let near_opt = s.to_ratio_vs_optimal <= 1.10;
+        if !converged || !near_opt {
+            failed = true;
+            println!(
+                "FAIL tenant {}: converged<=8 {} t_o within 10% {}",
+                s.tenant, converged, near_opt
+            );
+        }
+    }
+
+    // ---- Phase 2: measured on/off (stderr + JSON only). ----
+    let jobs = if quick { 6 } else { 10 };
+    let on = measured_phase(true, jobs);
+    let off = measured_phase(false, jobs);
+    let total_ms = |v: &[MeasuredJob]| v.iter().map(|d| d.wall_ms).sum::<f64>();
+    eprintln!(
+        "measured total: autotune on {:.2}ms, off (fixed one-task jobs) {:.2}ms",
+        total_ms(&on),
+        total_ms(&off),
+    );
+
+    let snap = BenchSnapshot::new("autotune")
+        .config("quick", quick)
+        .config("features", grain_bench::hotpath_features())
+        .config("workers", WORKERS)
+        .config("model_units", MODEL_UNITS as i64)
+        .config("model_to_ns", model.overhead_ns_per_task)
+        .metric(
+            "storm",
+            JsonValue::Arr(storms.iter().map(StormResult::to_json).collect()),
+        )
+        .metric(
+            "measured",
+            JsonValue::Obj(vec![
+                (
+                    "autotune_on".to_owned(),
+                    JsonValue::Arr(on.iter().map(MeasuredJob::to_json).collect()),
+                ),
+                (
+                    "autotune_off".to_owned(),
+                    JsonValue::Arr(off.iter().map(MeasuredJob::to_json).collect()),
+                ),
+                ("on_total_ms".to_owned(), total_ms(&on).into()),
+                ("off_total_ms".to_owned(), total_ms(&off).into()),
+            ]),
+        );
+    let out = Path::new("results/BENCH_autotune.json");
+    match append_snapshot(out, &snap) {
+        Ok(()) => eprintln!("recorded snapshot -> {}", out.display()),
+        Err(e) => eprintln!("warning: could not record {}: {e}", out.display()),
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK");
+}

@@ -15,12 +15,24 @@
 //! that overflows the admission queue so submissions bounce with
 //! `Rejected`. The report shows per-tenant throughput, exact p50/p99
 //! turnaround, the service counter surface, and one job's counter paths.
+//!
+//! A final phase serves **taskbench-family tenants**: tenants whose jobs
+//! are dependency graphs (stencil halo, tree reduce, parallel sweep)
+//! submitted as work *shapes*, once with the autotune grain controller
+//! enabled and once pinned to the submitter's (deliberately coarse)
+//! partition. The per-tenant grain trajectory and wall-clock totals of
+//! both runs land in `results/BENCH_service.json`.
 
+use grain_adaptive::tuner::TunerConfig;
+use grain_autotune::{Autotune, AutotuneConfig, ShapedWork};
 use grain_bench::Cli;
 use grain_metrics::table;
+use grain_metrics::JsonValue;
 use grain_service::{
     AdmissionConfig, JobHandle, JobPriority, JobService, JobSpec, JobState, ServiceConfig,
 };
+use grain_sim::storm::GraphFamily;
+use grain_taskbench::Cov;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -345,8 +357,56 @@ fn main() {
         resilient.breaker_opens >= 1,
         "the chaos tenant's breaker must trip under the storm"
     );
+    // ---- Taskbench-family tenants, autotune on/off. -----------------
+    // Graph-shaped tenants submit work shapes starting from one giant
+    // task per job; the controller re-chunks the "on" run while the
+    // "off" run keeps the submitter's partition.
+    println!();
+    let tuned = autotune_phase(true, workers);
+    let pinned = autotune_phase(false, workers);
+    let headers = [
+        "tenant",
+        "autotune",
+        "grain 0",
+        "grain N",
+        "converged",
+        "total",
+    ];
+    let mut rows = Vec::new();
+    for r in tuned.iter().chain(pinned.iter()) {
+        rows.push(r.row());
+    }
+    print!(
+        "{}",
+        table::render(
+            "service_bench: taskbench-family tenants, shaped submission",
+            &headers,
+            &rows
+        )
+    );
+    if cli.csv {
+        println!();
+        print!("{}", table::csv(&headers, &rows));
+    }
+    for r in &tuned {
+        assert!(
+            r.final_grain < r.start_grain,
+            "{}: controller must break up one-task jobs",
+            r.tenant
+        );
+    }
+    for r in &pinned {
+        assert_eq!(
+            r.final_grain, r.start_grain,
+            "{}: disabled autotune must not re-chunk",
+            r.tenant
+        );
+    }
+
     // Record the run in the service trajectory, features-stamped so
     // hot-path before/after pairs are readable straight from the file.
+    let autotune_json =
+        |rs: &[AutotuneRow]| JsonValue::Arr(rs.iter().map(AutotuneRow::to_json).collect());
     let snap = grain_metrics::BenchSnapshot::new("service")
         .config("quick", cli.quick)
         .config("features", grain_bench::hotpath_features())
@@ -364,7 +424,14 @@ fn main() {
             "p99_turnaround_ms",
             percentile(&all_turnarounds, 0.99).as_secs_f64() * 1e3,
         )
-        .metric("breaker_opens_resilient", resilient.breaker_opens);
+        .metric("breaker_opens_resilient", resilient.breaker_opens)
+        .metric(
+            "autotune",
+            JsonValue::Obj(vec![
+                ("on".to_owned(), autotune_json(&tuned)),
+                ("off".to_owned(), autotune_json(&pinned)),
+            ]),
+        );
     let out = std::path::Path::new("results/BENCH_service.json");
     match grain_metrics::append_snapshot(out, &snap) {
         Ok(()) => println!("\nrecorded snapshot -> {}", out.display()),
@@ -508,4 +575,103 @@ fn overload_phase(resilience: bool, workers: usize, scale: usize) -> OverloadRes
         p99: percentile(&turnarounds, 0.99),
         breaker_opens: service.breaker_opens("chaos"),
     }
+}
+
+struct AutotuneRow {
+    tenant: &'static str,
+    enabled: bool,
+    start_grain: u64,
+    final_grain: u64,
+    converged: bool,
+    total: Duration,
+}
+
+impl AutotuneRow {
+    fn row(&self) -> Vec<String> {
+        vec![
+            self.tenant.to_string(),
+            if self.enabled { "on" } else { "off" }.to_string(),
+            self.start_grain.to_string(),
+            self.final_grain.to_string(),
+            self.converged.to_string(),
+            table::fmt::s(self.total.as_secs_f64()),
+        ]
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("tenant".to_owned(), self.tenant.into()),
+            ("start_grain".to_owned(), (self.start_grain as i64).into()),
+            ("final_grain".to_owned(), (self.final_grain as i64).into()),
+            ("converged".to_owned(), self.converged.into()),
+            (
+                "total_ms".to_owned(),
+                (self.total.as_secs_f64() * 1e3).into(),
+            ),
+        ])
+    }
+}
+
+/// Serve three taskbench-family tenants through shaped submission, each
+/// starting from a one-task-per-job partition. Jobs run back-to-back per
+/// tenant so the turnaround-derived signal is clean.
+fn autotune_phase(enabled: bool, workers: usize) -> Vec<AutotuneRow> {
+    const TOTAL_ITERS: u64 = 1 << 21;
+    const JOBS: usize = 6;
+    // The sweep tenant runs lognormally dispersed node durations
+    // (COV 1.0), so the controller tunes a mean grain, not a constant.
+    let profiles = [
+        ("tb-stencil", GraphFamily::Stencil, Cov::Uniform),
+        ("tb-tree", GraphFamily::Tree, Cov::Uniform),
+        (
+            "tb-sweep",
+            GraphFamily::Sweep,
+            Cov::Lognormal { cov_centi: 100 },
+        ),
+    ];
+    let auto = Autotune::new(AutotuneConfig {
+        enabled,
+        cores: workers,
+        tuner: TunerConfig {
+            initial_nx: TOTAL_ITERS as usize,
+            max_nx: TOTAL_ITERS as usize,
+            ..TunerConfig::default()
+        },
+        ..AutotuneConfig::default()
+    });
+    let service = JobService::new(ServiceConfig {
+        policy: Some(auto.policy_hook()),
+        runtime: grain_service::grain_runtime::RuntimeConfig::with_workers(workers),
+        ..ServiceConfig::default()
+    });
+    auto.attach(&service).expect("autotune counters");
+    profiles
+        .into_iter()
+        .map(|(tenant, family, cov)| {
+            let shape = ShapedWork::Graph {
+                family,
+                total_iters: TOTAL_ITERS,
+                payload_bytes: 16,
+                seed: 29,
+                cov,
+            };
+            let start_grain = auto.grain_for(tenant);
+            let mut total = Duration::ZERO;
+            for j in 0..JOBS {
+                let o = auto
+                    .submit_shaped(&service, &format!("{tenant}-{j}"), tenant, &shape)
+                    .wait();
+                assert_eq!(o.state, JobState::Completed, "{tenant} job {j}");
+                total += o.turnaround;
+            }
+            AutotuneRow {
+                tenant,
+                enabled,
+                start_grain,
+                final_grain: auto.grain_for(tenant),
+                converged: auto.converged(tenant),
+                total,
+            }
+        })
+        .collect()
 }

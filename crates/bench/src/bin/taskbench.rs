@@ -205,6 +205,26 @@ fn equivalence(seed: u64, tasks_budget: usize, grain: u64, payload: u32) -> (u64
          ({parcels} parcels, {bytes} B shipped)",
         graph.len()
     );
+
+    // The same partitioned run, measured: one Eq. 1-6 RunRecord per
+    // locality, so per-locality overhead is visible instead of folded
+    // into a fabric-wide number. Wall times vary run to run; the
+    // recombined checksum must not.
+    let (total, per_loc) = grain_taskbench::measure_distributed_loopback(2, 1, &graph)
+        .expect("measured loopback settles");
+    assert_eq!(total, want, "measured distributed run diverged");
+    for m in &per_loc {
+        let r = &m.record;
+        println!(
+            "  locality {}: tasks {} exec {:.3} ms t_o {:.0} ns idle {:.3} partial {:#018x}",
+            m.locality,
+            r.tasks,
+            r.sum_exec_ns as f64 / 1e6,
+            r.task_overhead_ns(),
+            r.idle_rate(),
+            m.partial_checksum,
+        );
+    }
     (want, parcels, bytes)
 }
 

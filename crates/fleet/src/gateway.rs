@@ -890,6 +890,11 @@ fn place(
                 + (s.queue_fill * 10_000.0) as u64
                 + s.queued_jobs * 100
                 + (s.overhead * 100.0) as u64
+                // A worker whose autotune tenants are still probing has
+                // unsettled grain — its throughput is about to move.
+                // Weight it like half a queued job so settled workers
+                // win ties without probing ever gating placement.
+                + u64::from(!s.autotune_converged) * 50
         });
         (load, w)
     };

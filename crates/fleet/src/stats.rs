@@ -42,6 +42,15 @@ pub fn sample_stats(service: &JobService, locality_id: usize, draining: bool) ->
         idle_rate,
         queued_jobs: service.queue_len() as u64,
         running_jobs: service.running_len() as u64,
+        autotune_grain: read("/autotune/grain") as u64,
+        // A worker with no autotune subsystem registered reports
+        // converged: nothing on it is probing, so placement should not
+        // penalize it. The query error (not the 0.0 fallback) is the
+        // discriminator.
+        autotune_converged: sreg
+            .query("/autotune/converged")
+            .map(|v| v.value >= 1.0)
+            .unwrap_or(true),
     }
 }
 

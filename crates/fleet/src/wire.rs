@@ -54,6 +54,13 @@ pub struct WorkerStats {
     pub queued_jobs: u64,
     /// Jobs admitted and not yet terminal.
     pub running_jobs: u64,
+    /// `/autotune/grain`: mean tenant grain of the worker's autotune
+    /// subsystem (0 when the worker runs none).
+    pub autotune_grain: u64,
+    /// `/autotune/converged` == 1.0: every autotune tenant on the
+    /// worker sits in its hysteresis band. Workers without autotune
+    /// report `true` (nothing is probing there).
+    pub autotune_converged: bool,
 }
 
 impl Wire for WorkerStats {
@@ -66,6 +73,8 @@ impl Wire for WorkerStats {
         w.f64(self.idle_rate);
         w.u64(self.queued_jobs);
         w.u64(self.running_jobs);
+        w.u64(self.autotune_grain);
+        w.u8(u8::from(self.autotune_converged));
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
@@ -78,6 +87,8 @@ impl Wire for WorkerStats {
             idle_rate: r.f64()?,
             queued_jobs: r.u64()?,
             running_jobs: r.u64()?,
+            autotune_grain: r.u64()?,
+            autotune_converged: r.u8()? != 0,
         })
     }
 }
@@ -464,6 +475,8 @@ mod tests {
             idle_rate: 0.125,
             queued_jobs: 3,
             running_jobs: 4,
+            autotune_grain: 4096,
+            autotune_converged: false,
         };
         assert_eq!(from_bytes::<WorkerStats>(&to_bytes(&stats)).unwrap(), stats);
         assert_eq!(from_bytes::<FleetJob>(&to_bytes(&job())).unwrap(), job());

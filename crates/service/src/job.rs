@@ -155,6 +155,41 @@ pub enum FailurePolicy {
     },
 }
 
+/// The chunkable *work shape* of a job: how much total work it covers
+/// and the grain (work units per task) this submission was chunked at.
+///
+/// A shape-carrying job tells the service "this is `units` units of
+/// work currently cut into `ceil(units / grain)` tasks" instead of
+/// hiding the partition inside its body. That is the seam the
+/// `grain-autotune` controller drives: it observes the completed job's
+/// counters through the service policy hook and re-chunks the tenant's
+/// *next* submission by changing `grain`. The service itself treats the
+/// shape as opaque metadata — admission and scheduling are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobShape {
+    /// Total work units the job covers (elements, cells, or busy-work
+    /// iterations — the unit is the submitter's).
+    pub units: u64,
+    /// Work units per task this submission was chunked at (≥ 1).
+    pub grain: u64,
+}
+
+impl JobShape {
+    /// A shape of `units` total work at `grain` units per task.
+    pub fn new(units: u64, grain: u64) -> Self {
+        Self {
+            units,
+            grain: grain.max(1),
+        }
+    }
+
+    /// The task count this shape expands to: `ceil(units / grain)`,
+    /// at least 1.
+    pub fn tasks(&self) -> u64 {
+        self.units.div_ceil(self.grain.max(1)).max(1)
+    }
+}
+
 /// Everything a client declares about a job up front. Build with
 /// [`JobSpec::new`] and the chainable setters.
 #[derive(Debug, Clone)]
@@ -175,6 +210,10 @@ pub struct JobSpec {
     pub estimated_tasks: u64,
     /// What to do when a task of the job faults.
     pub failure_policy: FailurePolicy,
+    /// The job's chunkable work shape, when the submitter exposes one.
+    /// Read by service policies (e.g. the autotune grain controller);
+    /// ignored by admission and scheduling.
+    pub shape: Option<JobShape>,
 }
 
 impl JobSpec {
@@ -187,6 +226,7 @@ impl JobSpec {
             deadline: None,
             estimated_tasks: 1,
             failure_policy: FailurePolicy::default(),
+            shape: None,
         }
     }
 
@@ -215,6 +255,18 @@ impl JobSpec {
     #[must_use]
     pub fn failure_policy(mut self, p: FailurePolicy) -> Self {
         self.failure_policy = p;
+        self
+    }
+
+    /// Declare the job's chunkable work shape (also folds the shape's
+    /// task count into the admission estimate when the default estimate
+    /// of 1 was never overridden).
+    #[must_use]
+    pub fn shape(mut self, shape: JobShape) -> Self {
+        if self.estimated_tasks <= 1 {
+            self.estimated_tasks = shape.tasks();
+        }
+        self.shape = Some(shape);
         self
     }
 
@@ -645,6 +697,20 @@ mod tests {
         assert_eq!(spec.priority, JobPriority::Interactive);
         assert_eq!(spec.deadline, Some(Duration::from_secs(1)));
         assert_eq!(spec.estimated_tasks, 64);
+    }
+
+    #[test]
+    fn shape_sets_estimate_without_clobbering_an_explicit_one() {
+        let spec = JobSpec::new("sweep", "a").shape(JobShape::new(1000, 100));
+        assert_eq!(spec.shape, Some(JobShape::new(1000, 100)));
+        assert_eq!(spec.estimated_tasks, 10, "derived from the shape");
+        let spec = JobSpec::new("sweep", "a")
+            .estimated_tasks(64)
+            .shape(JobShape::new(1000, 100));
+        assert_eq!(spec.estimated_tasks, 64, "explicit estimate wins");
+        // Degenerate shapes stay sane.
+        assert_eq!(JobShape::new(0, 0).tasks(), 1);
+        assert_eq!(JobShape::new(7, 2).tasks(), 4);
     }
 
     #[test]

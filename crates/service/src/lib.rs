@@ -71,9 +71,11 @@ pub mod service;
 pub use admission::{AdmissionConfig, AdmissionError, RejectReason};
 pub use breaker::{BreakerConfig, BreakerState};
 pub use counters::{JobCounters, ServiceCounters};
-pub use job::{FailurePolicy, JobHandle, JobId, JobOutcome, JobPriority, JobSpec, JobState};
+pub use job::{
+    FailurePolicy, JobHandle, JobId, JobOutcome, JobPriority, JobShape, JobSpec, JobState,
+};
 pub use pressure::{PressureConfig, PressureLevel, PressureSignal};
-pub use service::{JobService, ServiceConfig};
+pub use service::{JobService, PolicyHook, ServiceConfig};
 
 // Re-export the layers underneath so service users need one dependency.
 pub use grain_counters;

@@ -20,7 +20,7 @@
 use crate::admission::{AdmissionError, FairQueues};
 use crate::breaker::{BreakerConfig, BreakerDecision, BreakerSet, BreakerState};
 use crate::counters::{JobCounters, ServiceCounters};
-use crate::job::{FailurePolicy, JobCore, JobHandle, JobId, JobSpec, JobState};
+use crate::job::{FailurePolicy, JobCore, JobHandle, JobId, JobOutcome, JobSpec, JobState};
 use crate::pressure::{PressureConfig, PressureController, PressureSignal};
 use grain_counters::sync::{Condvar, Mutex};
 use grain_counters::Registry;
@@ -30,6 +30,39 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use crate::admission::AdmissionConfig;
+
+/// A service policy callback: invoked once per job, after the job
+/// reaches a terminal *run* state (`Completed`, `Cancelled`, `TimedOut`,
+/// `Failed`) with its bookkeeping fully settled. Rejected submissions
+/// never ran, so they do not fire the hook.
+///
+/// The hook runs on the thread that settles the job — usually a runtime
+/// worker inside the group's quiescence latch — with **no service locks
+/// held**. It must be fast and non-blocking; feed an observer (the
+/// `grain-autotune` controller is the canonical consumer) rather than
+/// doing work inline.
+#[derive(Clone)]
+pub struct PolicyHook(Arc<PolicyFn>);
+
+/// The boxed callback type behind a [`PolicyHook`].
+type PolicyFn = dyn Fn(&JobSpec, &JobOutcome) + Send + Sync;
+
+impl PolicyHook {
+    /// Wrap a callback as a service policy hook.
+    pub fn new(f: impl Fn(&JobSpec, &JobOutcome) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+
+    pub(crate) fn call(&self, spec: &JobSpec, outcome: &JobOutcome) {
+        (self.0)(spec, outcome)
+    }
+}
+
+impl std::fmt::Debug for PolicyHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PolicyHook(..)")
+    }
+}
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -45,6 +78,9 @@ pub struct ServiceConfig {
     /// Dispatcher tick: the upper bound on how long admission or a
     /// deadline can lag the event that enabled it.
     pub poll_interval: Duration,
+    /// Post-settlement policy hook (see [`PolicyHook`]). `None` (the
+    /// default) leaves the settlement path exactly as before.
+    pub policy: Option<PolicyHook>,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +91,7 @@ impl Default for ServiceConfig {
             pressure: PressureConfig::default(),
             breaker: BreakerConfig::default(),
             poll_interval: Duration::from_micros(500),
+            policy: None,
         }
     }
 }
@@ -389,6 +426,12 @@ fn settle(shared: &Shared, core: &Arc<JobCore>) {
     shared.budget_in_use.fetch_sub(core.cost, Ordering::SeqCst);
     shared.running.lock().retain(|c| !Arc::ptr_eq(c, core));
     shared.dispatch_cv.notify_all();
+    // Policy observation with no locks held and every counter settled,
+    // before waiters wake — a submitter unblocked by wait() already
+    // sees any grain adjustment this outcome caused.
+    if let Some(hook) = &shared.config.policy {
+        hook.call(&core.spec, &core.outcome_now(state));
+    }
     // Waiters wake only now, with every counter above already settled.
     core.notify_waiters();
 }

@@ -90,7 +90,7 @@ pub(crate) fn spawn_range<S: Spawner>(
     for id in range.clone() {
         let preds = graph.preds(id);
         let seed = work::node_seed(spec.seed, id);
-        let iters = spec.grain_iters;
+        let iters = spec.node_iters(id);
         if preds.is_empty() {
             futs.push(spawner.spawn_source(move || work::node_value(seed, iters, [])));
             continue;
@@ -200,6 +200,33 @@ mod tests {
         assert!(m.record.sum_func_ns >= m.record.sum_exec_ns);
         assert_eq!(m.record.meta.np, 6);
         assert_eq!(m.record.meta.nt, 6);
+    }
+
+    #[test]
+    fn dispersed_grains_match_reference_for_every_family() {
+        let rt = Runtime::with_workers(2);
+        for kind in all_kinds(40) {
+            for cov in [
+                crate::graph::Cov::Lognormal { cov_centi: 120 },
+                crate::graph::Cov::Bimodal {
+                    heavy_pct: 15,
+                    ratio: 10,
+                },
+            ] {
+                let graph = GraphSpec::shape(kind, 0xd15e)
+                    .grain(25)
+                    .payload(32)
+                    .cov(cov)
+                    .build();
+                let sum = run_local(&rt, &graph).expect("run settles");
+                assert_eq!(
+                    sum,
+                    graph.checksum_reference(),
+                    "{} with {cov:?}",
+                    kind.name()
+                );
+            }
+        }
     }
 
     #[test]

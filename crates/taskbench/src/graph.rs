@@ -88,19 +88,67 @@ impl GraphKind {
     }
 }
 
+/// Per-node task-duration dispersion (the COV knob): how each node's
+/// busy-work iteration count is derived from [`GraphSpec::grain_iters`].
+///
+/// The multiplier for node `id` is a **pure function** of
+/// `(seed, id, cov)` — no RNG stream is consumed, so adding dispersion
+/// never perturbs graph structure, edge payloads, or any other seeded
+/// stream. `Uniform` reproduces the legacy behavior bit-for-bit
+/// (every node runs exactly `grain_iters`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Cov {
+    /// Every node runs exactly `grain_iters` (legacy behavior).
+    #[default]
+    Uniform,
+    /// Mean-preserving lognormal multiplier with coefficient of
+    /// variation `cov_centi / 100` (e.g. `150` ⇒ COV ≈ 1.5). Node
+    /// durations spread continuously while the expected total work
+    /// stays `nodes × grain_iters`.
+    Lognormal {
+        /// Coefficient of variation in hundredths (0 degenerates to
+        /// `Uniform`).
+        cov_centi: u32,
+    },
+    /// Two-point distribution: `heavy_pct` percent of nodes run
+    /// `grain_iters × ratio`, the rest run `grain_iters` — the
+    /// straggler-task shape (a few long poles amid uniform work).
+    Bimodal {
+        /// Percent of nodes that are heavy, clamped to 0..=100.
+        heavy_pct: u32,
+        /// Iteration multiplier for heavy nodes (≥ 1).
+        ratio: u32,
+    },
+}
+
+impl Cov {
+    /// Short stable name for reports and JSON snapshots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Cov::Uniform => "uniform",
+            Cov::Lognormal { .. } => "lognormal",
+            Cov::Bimodal { .. } => "bimodal",
+        }
+    }
+}
+
 /// A full workload point: family × grain × communication volume × seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GraphSpec {
     /// Graph family and shape.
     pub kind: GraphKind,
     /// Busy-work iterations per task (the task-grain knob; see
-    /// [`crate::work::Calibration`] to express it as a duration).
+    /// [`crate::work::Calibration`] to express it as a duration). With
+    /// a non-uniform [`Self::cov`], this is the *nominal* grain each
+    /// node's multiplier applies to — see [`Self::node_iters`].
     pub grain_iters: u64,
     /// Bytes carried per dependency edge (the communication-volume
     /// knob). The random-DAG family jitters per edge around this value.
     pub payload_bytes: u32,
     /// Generator seed. Equal seeds ⇒ bit-identical graphs.
     pub seed: u64,
+    /// Per-node duration dispersion around `grain_iters`.
+    pub cov: Cov,
 }
 
 impl GraphSpec {
@@ -111,6 +159,7 @@ impl GraphSpec {
             grain_iters: 0,
             payload_bytes: 0,
             seed,
+            cov: Cov::Uniform,
         }
     }
 
@@ -124,6 +173,49 @@ impl GraphSpec {
     pub fn payload(mut self, bytes: u32) -> Self {
         self.payload_bytes = bytes;
         self
+    }
+
+    /// Set the per-node duration dispersion.
+    pub fn cov(mut self, cov: Cov) -> Self {
+        self.cov = cov;
+        self
+    }
+
+    /// The busy-work iteration count of node `id`: `grain_iters` scaled
+    /// by the node's [`Cov`] multiplier. A pure function of
+    /// `(seed, id, grain_iters, cov)`; with `Cov::Uniform` it is
+    /// exactly `grain_iters` for every node.
+    pub fn node_iters(&self, id: u32) -> u64 {
+        match self.cov {
+            Cov::Uniform => self.grain_iters,
+            Cov::Lognormal { cov_centi } => {
+                if cov_centi == 0 || self.grain_iters == 0 {
+                    return self.grain_iters;
+                }
+                // Two per-node uniforms from the hash lattice (no RNG
+                // stream consumed), Box-Muller to a standard normal,
+                // then a mean-preserving lognormal: for X = exp(σZ − σ²/2),
+                // E[X] = 1 and COV(X) = sqrt(exp(σ²) − 1).
+                let h1 = work::mix64(self.seed ^ (u64::from(id) << 32) ^ 0xc0ff_ee00_0000_0001);
+                let h2 = work::mix64(self.seed ^ (u64::from(id) << 32) ^ 0xc0ff_ee00_0000_0002);
+                let u1 = ((h1 >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+                let u2 = (h2 >> 11) as f64 / (1u64 << 53) as f64;
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let cov = f64::from(cov_centi) / 100.0;
+                let sigma2 = (1.0 + cov * cov).ln();
+                let mult = (sigma2.sqrt() * z - sigma2 / 2.0).exp();
+                ((self.grain_iters as f64 * mult).round() as u64).max(1)
+            }
+            Cov::Bimodal { heavy_pct, ratio } => {
+                let heavy_pct = heavy_pct.min(100);
+                let h = work::mix64(self.seed ^ (u64::from(id) << 32) ^ 0xb1b0_da1f_0000_0003);
+                if (h % 100) < u64::from(heavy_pct) {
+                    self.grain_iters.saturating_mul(u64::from(ratio.max(1)))
+                } else {
+                    self.grain_iters
+                }
+            }
+        }
     }
 
     /// Expand the spec into an explicit graph.
@@ -250,6 +342,19 @@ impl TaskGraph {
         fold(self.spec.grain_iters);
         fold(u64::from(self.spec.payload_bytes));
         fold(self.spec.seed);
+        // Folded only when non-uniform, so every fingerprint recorded
+        // before the COV axis existed stays valid.
+        match self.spec.cov {
+            Cov::Uniform => {}
+            Cov::Lognormal { cov_centi } => {
+                fold(1);
+                fold(u64::from(cov_centi));
+            }
+            Cov::Bimodal { heavy_pct, ratio } => {
+                fold(2);
+                fold(u64::from(heavy_pct) << 32 | u64::from(ratio));
+            }
+        }
         for n in &self.nodes {
             fold(u64::from(n.step) << 32 | u64::from(n.lane));
         }
@@ -279,7 +384,11 @@ impl TaskGraph {
                     )
                 })
                 .collect();
-            let v = work::node_value(work::node_seed(spec.seed, id), spec.grain_iters, contribs);
+            let v = work::node_value(
+                work::node_seed(spec.seed, id),
+                spec.node_iters(id),
+                contribs,
+            );
             checksum = checksum.wrapping_add(work::checksum_term(id, v));
             values.push(v);
         }
@@ -609,6 +718,107 @@ mod tests {
             base.build().checksum_reference(),
             base.payload(33).build().checksum_reference()
         );
+    }
+
+    #[test]
+    fn uniform_cov_is_bit_identical_to_legacy() {
+        for spec in specs() {
+            let explicit = spec.cov(Cov::Uniform).build();
+            let implicit = spec.build();
+            assert_eq!(explicit, implicit);
+            assert_eq!(explicit.fingerprint(), implicit.fingerprint());
+            assert_eq!(explicit.checksum_reference(), implicit.checksum_reference());
+            for id in 0..explicit.len() as u32 {
+                assert_eq!(explicit.spec.node_iters(id), spec.grain_iters);
+            }
+        }
+    }
+
+    #[test]
+    fn cov_changes_only_durations_not_structure() {
+        for spec in specs() {
+            let base = spec.build();
+            for cov in [
+                Cov::Lognormal { cov_centi: 150 },
+                Cov::Bimodal {
+                    heavy_pct: 10,
+                    ratio: 20,
+                },
+            ] {
+                let dispersed = spec.cov(cov).build();
+                // Same nodes, same edges, same payload sizes: the COV
+                // knob must not consume any generator randomness.
+                assert_eq!(base.nodes, dispersed.nodes, "{cov:?}");
+                assert_eq!(base.edges, dispersed.edges, "{cov:?}");
+                // But fingerprint and checksum both move: different
+                // work is a different workload point.
+                assert_ne!(base.fingerprint(), dispersed.fingerprint());
+                assert_ne!(
+                    base.checksum_reference(),
+                    dispersed.checksum_reference(),
+                    "{cov:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lognormal_node_iters_are_mean_preserving_and_dispersed() {
+        let spec = GraphSpec::shape(
+            GraphKind::Sweep {
+                width: 64,
+                steps: 63,
+            },
+            42,
+        )
+        .grain(10_000)
+        .cov(Cov::Lognormal { cov_centi: 100 });
+        let g = spec.build();
+        let iters: Vec<u64> = (0..g.len() as u32).map(|id| spec.node_iters(id)).collect();
+        let n = iters.len() as f64;
+        let mean = iters.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = iters
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let cov = var.sqrt() / mean;
+        // E[mult] = 1 and COV = 1.0 by construction; loose band for the
+        // ~4k-sample estimate.
+        assert!(
+            (0.7..=1.4).contains(&(mean / 10_000.0)),
+            "mean {mean} drifted from nominal grain"
+        );
+        assert!((0.6..=1.6).contains(&cov), "COV {cov} far from target 1.0");
+        assert!(iters.iter().any(|&x| x != iters[0]), "no dispersion");
+    }
+
+    #[test]
+    fn bimodal_node_iters_hit_exactly_two_levels() {
+        let spec = GraphSpec::shape(
+            GraphKind::Sweep {
+                width: 32,
+                steps: 31,
+            },
+            7,
+        )
+        .grain(1_000)
+        .cov(Cov::Bimodal {
+            heavy_pct: 10,
+            ratio: 50,
+        });
+        let g = spec.build();
+        let mut light = 0usize;
+        let mut heavy = 0usize;
+        for id in 0..g.len() as u32 {
+            match spec.node_iters(id) {
+                1_000 => light += 1,
+                50_000 => heavy += 1,
+                other => panic!("unexpected iteration count {other}"),
+            }
+        }
+        assert!(heavy > 0, "no heavy nodes drawn at 10%");
+        assert!(light > heavy, "heavy fraction should stay the minority");
     }
 
     #[test]

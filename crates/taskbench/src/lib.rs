@@ -11,7 +11,11 @@
 //! * **task grain** ([`GraphSpec::grain_iters`]): busy-work iterations
 //!   per task, mapped to durations via host [`Calibration`];
 //! * **communication volume** ([`GraphSpec::payload_bytes`]): bytes
-//!   carried per dependency edge.
+//!   carried per dependency edge;
+//! * **duration dispersion** ([`GraphSpec::cov`]): seeded per-node
+//!   lognormal or bimodal multipliers on the grain, so irregular
+//!   workloads (stragglers, heavy tails) are first-class points on the
+//!   surface without perturbing graph structure or payload streams.
 //!
 //! One immutable [`TaskGraph`] description feeds three executors:
 //!
@@ -55,7 +59,8 @@ pub mod storm;
 pub mod work;
 
 pub use exec_local::{measure_local, run_local, MeasuredRun};
+pub use exec_net::{measure_distributed_loopback, MeasuredLocality};
 pub use exec_net::{run_distributed_loopback, DistTaskBench};
 pub use exec_service::run_service_job;
-pub use graph::{all_kinds, Edge, GraphKind, GraphSpec, Node, TaskGraph};
+pub use graph::{all_kinds, Cov, Edge, GraphKind, GraphSpec, Node, TaskGraph};
 pub use work::Calibration;

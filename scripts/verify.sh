@@ -172,6 +172,33 @@ cmp -s results/fleetstorm.txt results/fleetstorm_replay.txt || {
     exit 1
 }
 
+echo "==> autotune convergence replay determinism"
+# Online granularity control (DESIGN.md §16): three tenants starting at
+# pathological grains converge under the deterministic cost-model storm
+# (≤8 jobs, t_o within 10% of the grid-searched optimum — asserted
+# inside the binary, non-zero exit + FAIL lines on violation). Stdout
+# carries only modeled, host-independent numbers; running the binary
+# twice and byte-comparing proves no wall-clock measurement leaks into
+# a controller decision. The measured autotune-on/off phase goes to
+# stderr and appends results/BENCH_autotune.json.
+cargo run --release -p grain-bench --bin autotune --offline -- --quick \
+    2>results/autotune.log | tee results/autotune.txt
+grep -q '^OK$' results/autotune.txt || {
+    echo "autotune did not complete" >&2
+    exit 1
+}
+cargo run --release -p grain-bench --bin autotune --offline -- --quick \
+    2>>results/autotune.log > results/autotune_replay.txt
+cmp -s results/autotune.txt results/autotune_replay.txt || {
+    echo "autotune convergence reports diverged across processes" >&2
+    diff results/autotune.txt results/autotune_replay.txt >&2 || true
+    exit 1
+}
+grep -q "\"commit\":\"$commit\"" results/BENCH_autotune.json || {
+    echo "BENCH_autotune.json has no snapshot for $commit" >&2
+    exit 1
+}
+
 echo "==> unwrap-free hot paths"
 # The worker dispatch loop, the scheduler search, the lock-free queue,
 # the service dispatcher, and the overload path (admission + pressure)
@@ -191,6 +218,9 @@ echo "==> unwrap-free hot paths"
 # job — exactly the hang the plane exists to prevent.
 # The task-body slab joins: it holds every pooled task frame, so an
 # unwrap there corrupts spawns across all workers at once.
+# The autotune crate and the strategy engines join: the policy hook and
+# counter closures run inside the service's settle path and the stats
+# sampler — a panic there turns a mis-tuned grain into a dead dispatcher.
 for f in crates/runtime/src/worker.rs crates/runtime/src/queue.rs \
     crates/runtime/src/slab.rs \
     crates/runtime/src/scheduler.rs crates/service/src/service.rs \
@@ -202,7 +232,10 @@ for f in crates/runtime/src/worker.rs crates/runtime/src/queue.rs \
     crates/taskbench/src/exec_service.rs crates/taskbench/src/exec_net.rs \
     crates/fleet/src/wire.rs crates/fleet/src/stats.rs \
     crates/fleet/src/breaker.rs crates/fleet/src/worker.rs \
-    crates/fleet/src/gateway.rs; do
+    crates/fleet/src/gateway.rs \
+    crates/adaptive/src/strategy.rs crates/autotune/src/lib.rs \
+    crates/autotune/src/autotune.rs crates/autotune/src/controller.rs \
+    crates/autotune/src/model.rs crates/autotune/src/shape.rs; do
     grep -q 'deny(clippy::unwrap_used)' "$f" || {
         echo "missing #![deny(clippy::unwrap_used)] in $f" >&2
         exit 1

@@ -6,6 +6,7 @@
 //! Runtime System"* (IEEE CLUSTER 2015).
 
 pub use grain_adaptive as adaptive;
+pub use grain_autotune as autotune;
 pub use grain_counters as counters;
 pub use grain_fleet as fleet;
 pub use grain_metrics as metrics;
